@@ -1,0 +1,242 @@
+//! The coefficient-field abstraction.
+//!
+//! The paper's Multipol code computed over arbitrary-precision rationals;
+//! our benchmarks run over GF(32003) (see DESIGN.md). Making the
+//! polynomial ring generic lets the test suite *verify* that substitution:
+//! for a generic prime, the reduced Gröbner basis over GF(p) has the same
+//! leading-monomial staircase as over ℚ, which
+//! `tests/` checks on the Katsura systems.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A (computable) field of coefficients.
+pub trait Field:
+    Copy
+    + PartialEq
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// True for the additive identity.
+    fn is_zero(self) -> bool;
+    /// Multiplicative inverse (panics on zero).
+    fn inv(self) -> Self;
+    /// Embed a small integer.
+    fn from_i64(v: i64) -> Self;
+}
+
+impl Field for crate::gf::Gf {
+    fn zero() -> Self {
+        crate::gf::Gf::ZERO
+    }
+    fn one() -> Self {
+        crate::gf::Gf::ONE
+    }
+    fn is_zero(self) -> bool {
+        crate::gf::Gf::is_zero(self)
+    }
+    fn inv(self) -> Self {
+        crate::gf::Gf::inv(self)
+    }
+    fn from_i64(v: i64) -> Self {
+        crate::gf::Gf::from_i64(v)
+    }
+}
+
+/// An exact rational with `i128` parts, always normalized (gcd 1,
+/// positive denominator). Arithmetic panics on overflow, which is
+/// acceptable for the small verification inputs it exists for — the
+/// benchmarks use [`crate::gf::Gf`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.max(1)
+}
+
+impl Rat {
+    /// `num / den`, normalized. Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        Rat {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Numerator (normalized form).
+    pub fn numerator(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denominator(self) -> i128 {
+        self.den
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        Rat::new(
+            self.num
+                .checked_mul(rhs.den)
+                .and_then(|a| rhs.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
+                .expect("rational overflow in +"),
+            self.den.checked_mul(rhs.den).expect("rational overflow"),
+        )
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        // cross-reduce first to delay overflow
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        Rat::new(
+            (self.num / g1)
+                .checked_mul(rhs.num / g2)
+                .expect("rational overflow in *"),
+            (self.den / g2)
+                .checked_mul(rhs.den / g1)
+                .expect("rational overflow in *"),
+        )
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    // Field division: multiply by the reciprocal.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Rat) -> Rat {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Field for Rat {
+    fn zero() -> Self {
+        Rat { num: 0, den: 1 }
+    }
+    fn one() -> Self {
+        Rat { num: 1, den: 1 }
+    }
+    fn is_zero(self) -> bool {
+        self.num == 0
+    }
+    fn inv(self) -> Self {
+        assert!(self.num != 0, "inverse of zero rational");
+        Rat::new(self.den, self.num)
+    }
+    fn from_i64(v: i64) -> Self {
+        Rat {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl Debug for Rat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        Display::fmt(self, f)
+    }
+}
+
+impl Display for Rat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, 7), Rat::zero());
+        assert_eq!(Rat::new(3, 1).denominator(), 1);
+    }
+
+    #[test]
+    fn field_operations() {
+        let a = Rat::new(1, 2);
+        let b = Rat::new(1, 3);
+        assert_eq!(a + b, Rat::new(5, 6));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 6));
+        assert_eq!(a / b, Rat::new(3, 2));
+        assert_eq!(-a, Rat::new(-1, 2));
+        assert_eq!(a * a.inv(), Rat::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_rejected() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn zero_inverse_rejected() {
+        let _ = Rat::zero().inv();
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Rat::new(3, 1).to_string(), "3");
+        assert_eq!(Rat::new(-3, 4).to_string(), "-3/4");
+    }
+
+    #[test]
+    fn gf_implements_field() {
+        use crate::gf::Gf;
+        let x: Gf = Field::from_i64(-1);
+        assert_eq!(x, Gf::from_i64(-1));
+        assert_eq!(<Gf as Field>::one() + <Gf as Field>::zero(), Gf::ONE);
+    }
+}

@@ -1,0 +1,217 @@
+//! The coefficient field GF(32003).
+//!
+//! 32003 is the prime traditionally used by computer-algebra benchmarks
+//! (Singular, Macaulay2, the PoSSo suite): large enough that random
+//! systems behave generically, small enough that products fit in 64 bits
+//! without reduction tricks.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The field modulus.
+pub const P: u32 = 32003;
+
+/// An element of GF(32003), always stored reduced (`0 <= v < P`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Gf(u32);
+
+impl Gf {
+    /// Additive identity.
+    pub const ZERO: Gf = Gf(0);
+    /// Multiplicative identity.
+    pub const ONE: Gf = Gf(1);
+
+    /// Construct from an unsigned value (reduced mod P).
+    pub fn new(v: u32) -> Gf {
+        Gf(v % P)
+    }
+
+    /// Construct from a signed value (reduced into `[0, P)`).
+    pub fn from_i64(v: i64) -> Gf {
+        Gf(v.rem_euclid(P as i64) as u32)
+    }
+
+    /// Raw representative in `[0, P)`.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+
+    /// True for the zero element.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `self` raised to `e` by square-and-multiply.
+    pub fn pow(self, mut e: u64) -> Gf {
+        let mut base = self;
+        let mut acc = Gf::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse (Fermat). Panics on zero.
+    pub fn inv(self) -> Gf {
+        assert!(!self.is_zero(), "inverse of zero in GF({P})");
+        self.pow(P as u64 - 2)
+    }
+}
+
+impl Add for Gf {
+    type Output = Gf;
+    fn add(self, rhs: Gf) -> Gf {
+        let s = self.0 + rhs.0;
+        Gf(if s >= P { s - P } else { s })
+    }
+}
+
+impl AddAssign for Gf {
+    fn add_assign(&mut self, rhs: Gf) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Gf {
+    type Output = Gf;
+    fn sub(self, rhs: Gf) -> Gf {
+        Gf(if self.0 >= rhs.0 {
+            self.0 - rhs.0
+        } else {
+            self.0 + P - rhs.0
+        })
+    }
+}
+
+impl SubAssign for Gf {
+    fn sub_assign(&mut self, rhs: Gf) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Gf {
+    type Output = Gf;
+    fn mul(self, rhs: Gf) -> Gf {
+        Gf(((self.0 as u64 * rhs.0 as u64) % P as u64) as u32)
+    }
+}
+
+impl MulAssign for Gf {
+    fn mul_assign(&mut self, rhs: Gf) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Gf {
+    type Output = Gf;
+    // In a field, division IS multiplication by the inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Gf) -> Gf {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Gf {
+    type Output = Gf;
+    fn neg(self) -> Gf {
+        if self.0 == 0 {
+            self
+        } else {
+            Gf(P - self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Gf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Gf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Print small negatives as such for readability: 32002 -> -1.
+        if self.0 > P / 2 {
+            write!(f, "-{}", P - self.0)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Gf::new(17);
+        let b = Gf::new(32000);
+        assert_eq!((a + b).value(), (17 + 32000) % P);
+        assert_eq!((a - b).value(), (17 + P - 32000) % P);
+        assert_eq!((a * b).value(), ((17 * 32000) % P as usize) as u32);
+        assert_eq!((-Gf::new(1)).value(), P - 1);
+        assert_eq!(-Gf::ZERO, Gf::ZERO);
+    }
+
+    #[test]
+    fn from_i64_handles_negatives() {
+        assert_eq!(Gf::from_i64(-1).value(), P - 1);
+        assert_eq!(Gf::from_i64(-(P as i64)), Gf::ZERO);
+        assert_eq!(Gf::from_i64(P as i64 + 5).value(), 5);
+    }
+
+    #[test]
+    fn inverse_and_division() {
+        for v in [1u32, 2, 100, 31999, P - 1] {
+            let x = Gf::new(v);
+            assert_eq!(x * x.inv(), Gf::ONE, "v={v}");
+            assert_eq!(x / x, Gf::ONE);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn zero_inverse_panics() {
+        let _ = Gf::ZERO.inv();
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let x = Gf::new(7);
+        let mut acc = Gf::ONE;
+        for e in 0..20u64 {
+            assert_eq!(x.pow(e), acc);
+            acc *= x;
+        }
+        // Fermat's little theorem
+        assert_eq!(x.pow(P as u64 - 1), Gf::ONE);
+    }
+
+    #[test]
+    fn display_uses_signed_form() {
+        assert_eq!(Gf::from_i64(-1).to_string(), "-1");
+        assert_eq!(Gf::new(5).to_string(), "5");
+    }
+
+    #[test]
+    fn field_axioms_spot_check() {
+        let vals = [0u32, 1, 2, 1000, 32002];
+        for &a in &vals {
+            for &b in &vals {
+                for &c in &vals {
+                    let (a, b, c) = (Gf::new(a), Gf::new(b), Gf::new(c));
+                    assert_eq!(a + b, b + a);
+                    assert_eq!(a * b, b * a);
+                    assert_eq!(a * (b + c), a * b + a * c);
+                    assert_eq!((a + b) + c, a + (b + c));
+                    assert_eq!((a * b) * c, a * (b * c));
+                }
+            }
+        }
+    }
+}

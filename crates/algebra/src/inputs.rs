@@ -1,0 +1,374 @@
+//! The benchmark polynomial systems of Table 2.
+//!
+//! * **Katsura-n** — the magnetism equations of Katsura's statistical-
+//!   mechanics model, the standard Gröbner benchmark family. Katsura-n
+//!   has n+1 variables `u_0..u_n` and n+1 equations, matching Table 2
+//!   ("Katsura-4: 5 as input", "Katsura-5: 6 as input").
+//! * **Lazard** — the classic symmetric example attributed to D. Lazard,
+//!   `{x²+y+z−1, x+y²+z−1, x+y+z²−1}` (3 inputs, as in Table 2). The
+//!   paper does not print its input, so this is our best-documented
+//!   stand-in; EXPERIMENTS.md records how its measured characteristics
+//!   compare to the paper's.
+//! * **`dense_random`** — seeded dense systems for scaling studies and
+//!   property tests.
+
+use crate::field::Field;
+use crate::gf::Gf;
+use crate::monomial::{Monomial, Order};
+use crate::poly::{GenPoly, GenTerm, Poly, Ring, Term};
+use earth_sim::Rng;
+
+/// The Katsura-n system over an arbitrary coefficient field (used by the
+/// GF(p)-vs-ℚ verification tests; the benchmarks use [`katsura`]).
+pub fn katsura_over<C: Field>(n: usize) -> (Ring, Vec<GenPoly<C>>) {
+    assert!((1..=7).contains(&n), "katsura arity out of supported range");
+    let nvars = n + 1;
+    let ring = Ring::new(nvars, Order::Lex);
+    let mut polys = Vec::with_capacity(n + 1);
+
+    let var = |k: i64| -> Option<usize> {
+        let a = k.unsigned_abs() as usize;
+        (a <= n).then_some(a)
+    };
+
+    for m in 0..n as i64 {
+        let mut terms: Vec<GenTerm<C>> = Vec::new();
+        for k in -(n as i64)..=(n as i64) {
+            let (Some(a), Some(b)) = (var(k), var(m - k)) else {
+                continue;
+            };
+            let mut e = [0u16; crate::monomial::MAX_VARS];
+            e[a] += 1;
+            e[b] += 1;
+            terms.push(GenTerm {
+                c: C::one(),
+                m: Monomial { e },
+            });
+        }
+        terms.push(GenTerm {
+            c: -C::one(),
+            m: Monomial::var(m as usize),
+        });
+        polys.push(GenPoly::from_terms(&ring, terms));
+    }
+
+    let mut terms = vec![GenTerm {
+        c: C::one(),
+        m: Monomial::var(0),
+    }];
+    for k in 1..=n {
+        terms.push(GenTerm {
+            c: C::from_i64(2),
+            m: Monomial::var(k),
+        });
+    }
+    terms.push(GenTerm {
+        c: -C::one(),
+        m: Monomial::ONE,
+    });
+    polys.push(GenPoly::from_terms(&ring, terms));
+
+    (ring, polys)
+}
+
+/// The Katsura-n system: ring plus input polynomials (n+1 of each).
+pub fn katsura(n: usize) -> (Ring, Vec<Poly>) {
+    assert!((1..=7).contains(&n), "katsura arity out of supported range");
+    let nvars = n + 1;
+    let ring = Ring::new(nvars, Order::Lex);
+    let mut polys = Vec::with_capacity(n + 1);
+
+    // u_k for |k| <= n else 0; u_{-k} = u_k.
+    let var = |k: i64| -> Option<usize> {
+        let a = k.unsigned_abs() as usize;
+        (a <= n).then_some(a)
+    };
+
+    // Quadratic equations: for m = 0..n-1:
+    //   sum_{k=-n}^{n} u_k * u_{m-k}  -  u_m  = 0
+    for m in 0..n as i64 {
+        let mut terms: Vec<Term> = Vec::new();
+        for k in -(n as i64)..=(n as i64) {
+            let (Some(a), Some(b)) = (var(k), var(m - k)) else {
+                continue;
+            };
+            let mut e = [0u16; crate::monomial::MAX_VARS];
+            e[a] += 1;
+            e[b] += 1;
+            terms.push(Term {
+                c: Gf::ONE,
+                m: Monomial { e },
+            });
+        }
+        terms.push(Term {
+            c: -Gf::ONE,
+            m: Monomial::var(m as usize),
+        });
+        polys.push(Poly::from_terms(&ring, terms));
+    }
+
+    // Linear normalization: u_0 + 2*sum_{k=1}^{n} u_k - 1 = 0.
+    let mut terms = vec![Term {
+        c: Gf::ONE,
+        m: Monomial::var(0),
+    }];
+    for k in 1..=n {
+        terms.push(Term {
+            c: Gf::new(2),
+            m: Monomial::var(k),
+        });
+    }
+    terms.push(Term {
+        c: -Gf::ONE,
+        m: Monomial::ONE,
+    });
+    polys.push(Poly::from_terms(&ring, terms));
+
+    (ring, polys)
+}
+
+/// The Lazard example: `{x²+y+z−1, x+y²+z−1, x+y+z²−1}` in total lex
+/// order (x > y > z).
+pub fn lazard() -> (Ring, Vec<Poly>) {
+    let ring = Ring::new(3, Order::Lex).with_names(&["x", "y", "z"]);
+    let p = |pairs: &[(i64, &[u16])]| Poly::from_pairs(&ring, pairs);
+    let f1 = p(&[(1, &[2, 0, 0]), (1, &[0, 1, 0]), (1, &[0, 0, 1]), (-1, &[0, 0, 0])]);
+    let f2 = p(&[(1, &[1, 0, 0]), (1, &[0, 2, 0]), (1, &[0, 0, 1]), (-1, &[0, 0, 0])]);
+    let f3 = p(&[(1, &[1, 0, 0]), (1, &[0, 1, 0]), (1, &[0, 0, 2]), (-1, &[0, 0, 0])]);
+    (ring, vec![f1, f2, f3])
+}
+
+/// The cyclic n-roots system, another classic benchmark (used by the
+/// extension experiments).
+pub fn cyclic(n: usize) -> (Ring, Vec<Poly>) {
+    assert!((2..=7).contains(&n));
+    let ring = Ring::new(n, Order::GRevLex);
+    let mut polys = Vec::with_capacity(n);
+    for d in 1..n {
+        // sum over i of prod_{j=0..d-1} x_{(i+j) mod n}
+        let mut terms = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut e = [0u16; crate::monomial::MAX_VARS];
+            for j in 0..d {
+                e[(i + j) % n] += 1;
+            }
+            terms.push(Term {
+                c: Gf::ONE,
+                m: Monomial { e },
+            });
+        }
+        polys.push(Poly::from_terms(&ring, terms));
+    }
+    // x0 x1 ... x_{n-1} - 1
+    let mut e = [0u16; crate::monomial::MAX_VARS];
+    for exp in e.iter_mut().take(n) {
+        *exp = 1;
+    }
+    let last = Poly::from_terms(
+        &ring,
+        vec![
+            Term {
+                c: Gf::ONE,
+                m: Monomial { e },
+            },
+            Term {
+                c: -Gf::ONE,
+                m: Monomial::ONE,
+            },
+        ],
+    );
+    polys.push(last);
+    (ring, polys)
+}
+
+/// The "Lazard" *workload* used by the figure reproductions.
+///
+/// The paper's Lazard input is not printed and its Table 2 profile
+/// (141 pairs processed, 27 polynomials added, 26.7 ms mean step) is far
+/// heavier than the classic three-equation Lazard example ([`lazard`]),
+/// which completes in a handful of pairs. As documented in DESIGN.md we
+/// therefore substitute a seeded random system of three dense cubics in
+/// three variables under total lex order, chosen because its measured
+/// profile (≈136 pairs processed, ≈48 added, ≈42 ms mean step, ≈290 B
+/// mean polynomial) sits closest to the paper's Lazard row among the
+/// candidates we probed.
+pub fn lazard_workload() -> (Ring, Vec<Poly>) {
+    let (r0, polys) = dense_random(3, 3, 3, 0.25, 2);
+    let ring = Ring::new(r0.nvars, Order::Lex).with_names(&["x", "y", "z"]);
+    let polys = polys
+        .iter()
+        .map(|p| Poly::from_terms(&ring, p.terms().to_vec()))
+        .collect();
+    (ring, polys)
+}
+
+/// The three Table 2 workloads by their paper names.
+pub fn table2_inputs() -> Vec<(&'static str, Ring, Vec<Poly>)> {
+    let (rl, il) = lazard_workload();
+    let (r4, i4) = katsura(4);
+    let (r5, i5) = katsura(5);
+    vec![
+        ("Lazard", rl, il),
+        ("Katsura-4", r4, i4),
+        ("Katsura-5", r5, i5),
+    ]
+}
+
+/// A seeded dense random system: `count` polynomials of total degree
+/// `deg` in `nvars` variables, each with every monomial of degree ≤ deg
+/// present with probability `density`.
+pub fn dense_random(
+    nvars: usize,
+    count: usize,
+    deg: u16,
+    density: f64,
+    seed: u64,
+) -> (Ring, Vec<Poly>) {
+    let ring = Ring::new(nvars, Order::GRevLex);
+    let mut rng = Rng::new(seed);
+    let mut monos: Vec<Monomial> = Vec::new();
+    fn gen(nvars: usize, left: u16, idx: usize, cur: &mut Monomial, out: &mut Vec<Monomial>) {
+        if idx == nvars {
+            out.push(*cur);
+            return;
+        }
+        for e in 0..=left {
+            cur.e[idx] = e;
+            gen(nvars, left - e, idx + 1, cur, out);
+        }
+        cur.e[idx] = 0;
+    }
+    gen(nvars, deg, 0, &mut Monomial::ONE.clone(), &mut monos);
+    let polys = (0..count)
+        .map(|_| loop {
+            let mut terms: Vec<Term> = Vec::new();
+            for &m in &monos {
+                if rng.gen_bool(density) {
+                    terms.push(Term {
+                        c: Gf::new(1 + rng.gen_range(crate::gf::P as u64 - 1) as u32),
+                        m,
+                    });
+                }
+            }
+            let p = Poly::from_terms(&ring, terms);
+            if !p.is_zero() {
+                break p;
+            }
+        })
+        .collect();
+    (ring, polys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buchberger::{buchberger, is_groebner, SelectionStrategy};
+
+    #[test]
+    fn katsura_shapes_match_table2() {
+        let (r4, k4) = katsura(4);
+        assert_eq!(r4.nvars, 5);
+        assert_eq!(k4.len(), 5, "Katsura-4 has 5 input polynomials");
+        let (r5, k5) = katsura(5);
+        assert_eq!(r5.nvars, 6);
+        assert_eq!(k5.len(), 6, "Katsura-5 has 6 input polynomials");
+        // n quadratics + 1 linear
+        assert!(k4.iter().filter(|p| p.degree() == 2).count() == 4);
+        assert!(k4.iter().filter(|p| p.degree() == 1).count() == 1);
+    }
+
+    #[test]
+    fn lazard_has_three_inputs() {
+        let (_, l) = lazard();
+        assert_eq!(l.len(), 3);
+        assert!(l.iter().all(|p| p.degree() == 2));
+    }
+
+    #[test]
+    fn katsura_2_basis_is_groebner() {
+        let (ring, input) = katsura(2);
+        let (basis, stats) = buchberger(&ring, &input, SelectionStrategy::Sugar);
+        assert!(is_groebner(&ring, &basis));
+        assert!(stats.polys_added > 0, "completion must add something");
+    }
+
+    #[test]
+    fn katsura_3_basis_is_groebner() {
+        let (ring, input) = katsura(3);
+        let (basis, _) = buchberger(&ring, &input, SelectionStrategy::Sugar);
+        assert!(is_groebner(&ring, &basis));
+    }
+
+    #[test]
+    fn lazard_basis_is_groebner() {
+        let (ring, input) = lazard();
+        let (basis, stats) = buchberger(&ring, &input, SelectionStrategy::Sugar);
+        assert!(is_groebner(&ring, &basis));
+        assert!(stats.pairs_processed > 0);
+    }
+
+    #[test]
+    fn cyclic_4_is_solvable() {
+        let (ring, input) = cyclic(4);
+        assert_eq!(input.len(), 4);
+        let (basis, _) = buchberger(&ring, &input, SelectionStrategy::Sugar);
+        assert!(is_groebner(&ring, &basis));
+    }
+
+    #[test]
+    fn dense_random_is_deterministic() {
+        let (_, a) = dense_random(3, 3, 2, 0.5, 42);
+        let (_, b) = dense_random(3, 3, 2, 0.5, 42);
+        assert_eq!(a, b);
+        let (_, c) = dense_random(3, 3, 2, 0.5, 43);
+        assert_ne!(a, c);
+    }
+}
+
+#[cfg(test)]
+mod field_substitution_tests {
+    use super::*;
+    use crate::buchberger::{buchberger, reduce_basis, SelectionStrategy};
+    use crate::field::Rat;
+
+    /// The DESIGN.md substitution argument, verified: for our (generic)
+    /// prime, the reduced Gröbner basis over GF(32003) has the *same
+    /// leading-monomial staircase* as the exact computation over ℚ.
+    #[test]
+    fn gf_and_rational_bases_share_the_staircase() {
+        // Katsura-3+ in lex over Q overflows i128 coefficients — exact
+        // verification is limited to the sizes Rat can represent.
+        for n in [1usize, 2] {
+            let (ring, input_q) = katsura_over::<Rat>(n);
+            let (_, input_p) = katsura(n);
+            let (basis_q, _) = buchberger(&ring, &input_q, SelectionStrategy::Sugar);
+            let (basis_p, _) = buchberger(&ring, &input_p, SelectionStrategy::Sugar);
+            let leads = |b: &[GenPoly<Rat>]| -> Vec<Monomial> {
+                reduce_basis(&ring, b).iter().map(|p| p.lead().m).collect()
+            };
+            let leads_p: Vec<Monomial> = reduce_basis(&ring, &basis_p)
+                .iter()
+                .map(|p| p.lead().m)
+                .collect();
+            assert_eq!(leads(&basis_q), leads_p, "katsura-{n} staircase");
+        }
+    }
+
+    /// Same check for the (classic) Lazard system, built over ℚ directly.
+    #[test]
+    fn lazard_staircase_matches_over_q() {
+        let ring = Ring::new(3, Order::Lex);
+        let q = |pairs: &[(i64, &[u16])]| GenPoly::<Rat>::from_pairs(&ring, pairs);
+        let input_q = vec![
+            q(&[(1, &[2, 0, 0]), (1, &[0, 1, 0]), (1, &[0, 0, 1]), (-1, &[0, 0, 0])]),
+            q(&[(1, &[1, 0, 0]), (1, &[0, 2, 0]), (1, &[0, 0, 1]), (-1, &[0, 0, 0])]),
+            q(&[(1, &[1, 0, 0]), (1, &[0, 1, 0]), (1, &[0, 0, 2]), (-1, &[0, 0, 0])]),
+        ];
+        let (_, input_p) = lazard();
+        let (bq, _) = buchberger(&ring, &input_q, SelectionStrategy::Normal);
+        let (bp, _) = buchberger(&ring, &input_p, SelectionStrategy::Normal);
+        let lq: Vec<Monomial> = reduce_basis(&ring, &bq).iter().map(|p| p.lead().m).collect();
+        let lp: Vec<Monomial> = reduce_basis(&ring, &bp).iter().map(|p| p.lead().m).collect();
+        assert_eq!(lq, lp);
+    }
+}

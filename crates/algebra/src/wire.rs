@@ -1,0 +1,102 @@
+//! Byte serialization of polynomials.
+//!
+//! "The polynomials are represented in a compacted form as vectors"
+//! (§3.2): when a new basis element is broadcast for read-caching, it
+//! travels as this byte layout, whose length is what the network cost
+//! model charges — the source of Table 2's "mean size of polynomial"
+//! characteristic.
+//!
+//! Layout (little-endian):
+//! `nvars: u8 | nterms: u32 | nterms × (coeff: u32, nvars × exp: u16)`
+
+use crate::gf::Gf;
+use crate::monomial::Monomial;
+use crate::poly::{Poly, Ring, Term};
+
+/// Serialized byte length of `p` in a ring of `nvars` variables.
+pub fn wire_len(p: &Poly, nvars: usize) -> usize {
+    5 + p.len() * (4 + 2 * nvars)
+}
+
+/// Serialize `p` for transmission.
+pub fn to_bytes(p: &Poly, nvars: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(wire_len(p, nvars));
+    out.push(nvars as u8);
+    out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+    for t in p.terms() {
+        out.extend_from_slice(&t.c.value().to_le_bytes());
+        for i in 0..nvars {
+            out.extend_from_slice(&t.m.e[i].to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Deserialize a polynomial; needs the ring to re-establish term order
+/// invariants (and to validate arity).
+pub fn from_bytes(ring: &Ring, bytes: &[u8]) -> Poly {
+    let nvars = bytes[0] as usize;
+    assert_eq!(nvars, ring.nvars, "wire polynomial has wrong arity");
+    let nterms = u32::from_le_bytes(bytes[1..5].try_into().unwrap()) as usize;
+    let stride = 4 + 2 * nvars;
+    let mut terms = Vec::with_capacity(nterms);
+    for k in 0..nterms {
+        let base = 5 + k * stride;
+        let c = Gf::new(u32::from_le_bytes(bytes[base..base + 4].try_into().unwrap()));
+        let mut e = [0u16; crate::monomial::MAX_VARS];
+        for (i, ei) in e.iter_mut().enumerate().take(nvars) {
+            let off = base + 4 + 2 * i;
+            *ei = u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap());
+        }
+        terms.push(Term {
+            c,
+            m: Monomial { e },
+        });
+    }
+    Poly::from_terms(ring, terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::{katsura, lazard};
+
+    #[test]
+    fn roundtrip_inputs() {
+        for (ring, polys) in [katsura(4), lazard()] {
+            for p in &polys {
+                let bytes = to_bytes(p, ring.nvars);
+                assert_eq!(bytes.len(), wire_len(p, ring.nvars));
+                let back = from_bytes(&ring, &bytes);
+                assert_eq!(&back, p);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_poly_is_five_bytes() {
+        let (ring, _) = lazard();
+        let z = Poly::zero();
+        let bytes = to_bytes(&z, ring.nvars);
+        assert_eq!(bytes.len(), 5);
+        assert!(from_bytes(&ring, &bytes).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn arity_mismatch_detected() {
+        let (r3, polys) = lazard();
+        let bytes = to_bytes(&polys[0], r3.nvars);
+        let (r5, _) = katsura(4);
+        let _ = from_bytes(&r5, &bytes);
+    }
+
+    #[test]
+    fn wire_size_scale_is_table2_like() {
+        // Katsura-5 polynomials during completion reach hundreds of terms;
+        // with 6 vars a term is 16 bytes — Table 2's kilobyte-scale sizes.
+        let (ring, polys) = katsura(5);
+        let sz = wire_len(&polys[0], ring.nvars);
+        assert!(sz > 50 && sz < 500, "input size {sz}");
+    }
+}

@@ -1,0 +1,960 @@
+//! Extension search workloads (§3.1 mentions them as prior EARTH-MANNA
+//! successes: "Protein Folding ..., Paraffins ..., or TSP — computing the
+//! optimal route for a traveling salesman").
+//!
+//! Two members of the class are implemented on the same TOKEN fork-join
+//! skeleton as the Eigenvalue application:
+//!
+//! * [`tsp`] — branch-and-bound TSP with a centrally maintained incumbent
+//!   bound. Because a better tour found early prunes everyone else's
+//!   subtree, the parallel run can do *less* total work than the
+//!   sequential one — the "indeterministic application behavior with
+//!   respect to computation time ... may lead to superlinear speedups"
+//!   class from the introduction.
+//! * [`saw`] — exhaustive enumeration of self-avoiding walks on the
+//!   square lattice, a faithful miniature of the Protein Folding
+//!   workload (enumerating embeddings of a polymer). Deterministic
+//!   total work, massive independent parallelism.
+
+use earth_machine::{MachineConfig, NodeId};
+use earth_rt::{
+    ArgsReader, ArgsWriter, Ctx, FuncId, Runtime, SlotId, SlotRef, ThreadId, ThreadedFn,
+};
+use earth_sim::{Rng, VirtualDuration, VirtualTime};
+
+// ===========================================================================
+// TSP
+// ===========================================================================
+
+/// Branch-and-bound traveling salesman.
+pub mod tsp {
+    use super::*;
+
+    /// A symmetric distance matrix.
+    #[derive(Clone, Debug)]
+    pub struct Distances {
+        n: usize,
+        d: Vec<u32>,
+    }
+
+    impl Distances {
+        /// Seeded random symmetric instance with distances in [1, 100].
+        pub fn random(n: usize, seed: u64) -> Distances {
+            assert!(n >= 3);
+            let mut rng = Rng::new(seed);
+            let mut d = vec![0u32; n * n];
+            for i in 0..n {
+                for j in i + 1..n {
+                    let v = 1 + rng.gen_range(100) as u32;
+                    d[i * n + j] = v;
+                    d[j * n + i] = v;
+                }
+            }
+            Distances { n, d }
+        }
+
+        /// Number of cities.
+        pub fn n(&self) -> usize {
+            self.n
+        }
+
+        /// Distance between two cities.
+        pub fn dist(&self, i: usize, j: usize) -> u32 {
+            self.d[i * self.n + j]
+        }
+
+        /// A greedy nearest-neighbour tour cost (initial incumbent).
+        pub fn nearest_neighbour(&self) -> u32 {
+            let mut visited = vec![false; self.n];
+            visited[0] = true;
+            let mut at = 0;
+            let mut cost = 0;
+            for _ in 1..self.n {
+                let next = (0..self.n)
+                    .filter(|&j| !visited[j])
+                    .min_by_key(|&j| self.dist(at, j))
+                    .unwrap();
+                cost += self.dist(at, next);
+                visited[next] = true;
+                at = next;
+            }
+            cost + self.dist(at, 0)
+        }
+    }
+
+    /// Result of a (sequential or parallel) solve.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Solution {
+        /// Optimal tour cost.
+        pub best: u32,
+        /// Search-tree nodes expanded.
+        pub expanded: u64,
+    }
+
+    fn expand(
+        d: &Distances,
+        path: &mut Vec<usize>,
+        visited: &mut Vec<bool>,
+        cost: u32,
+        best: &mut u32,
+        expanded: &mut u64,
+    ) {
+        *expanded += 1;
+        let at = *path.last().unwrap();
+        if path.len() == d.n() {
+            let total = cost + d.dist(at, 0);
+            if total < *best {
+                *best = total;
+            }
+            return;
+        }
+        for next in 1..d.n() {
+            if visited[next] {
+                continue;
+            }
+            let c = cost + d.dist(at, next);
+            if c >= *best {
+                continue; // bound
+            }
+            visited[next] = true;
+            path.push(next);
+            expand(d, path, visited, c, best, expanded);
+            path.pop();
+            visited[next] = false;
+        }
+    }
+
+    /// Sequential branch-and-bound from city 0.
+    pub fn solve_sequential(d: &Distances) -> Solution {
+        let mut best = d.nearest_neighbour();
+        let mut expanded = 0;
+        let mut path = vec![0];
+        let mut visited = vec![false; d.n()];
+        visited[0] = true;
+        expand(d, &mut path, &mut visited, 0, &mut best, &mut expanded);
+        Solution { best, expanded }
+    }
+
+    /// Virtual cost per expanded search node on the i860.
+    pub fn node_cost() -> VirtualDuration {
+        VirtualDuration::from_us(15)
+    }
+
+    struct TspState {
+        d: Distances,
+        /// Locally cached incumbent bound.
+        best: u32,
+        expanded: u64,
+        /// Node 0 only: the authoritative incumbent.
+        update_fn: u32,
+        bound_fn: u32,
+    }
+
+    /// A task: expand the subtree under a fixed path prefix, entirely
+    /// locally, pruning with the locally cached bound; report
+    /// improvements to the central incumbent.
+    struct SubTree {
+        prefix: Vec<u8>,
+        cost: u32,
+        done: SlotRef,
+    }
+
+    impl ThreadedFn for SubTree {
+        fn run(&mut self, ctx: &mut Ctx<'_>, _tid: ThreadId) {
+            let (improved, expanded) = {
+                let st = ctx.user_mut::<TspState>();
+                let mut path: Vec<usize> = self.prefix.iter().map(|&c| c as usize).collect();
+                let mut visited = vec![false; st.d.n()];
+                for &c in &path {
+                    visited[c] = true;
+                }
+                let before = st.best;
+                let mut best = st.best;
+                let mut expanded = 0;
+                expand(&st.d, &mut path, &mut visited, self.cost, &mut best, &mut expanded);
+                st.expanded += expanded;
+                let improved = (best < before).then_some(best);
+                if let Some(b) = improved {
+                    st.best = b;
+                }
+                (improved, expanded)
+            };
+            ctx.compute(node_cost().times(expanded));
+            if let Some(best) = improved {
+                let update = ctx.user::<TspState>().update_fn;
+                let mut a = ArgsWriter::new();
+                a.u32(best);
+                ctx.invoke(NodeId(0), FuncId(update), a.finish());
+            }
+            ctx.sync(self.done);
+            ctx.end();
+        }
+    }
+
+    /// Central incumbent update: keep the min, broadcast improvements.
+    struct UpdateBest {
+        best: u32,
+    }
+
+    impl ThreadedFn for UpdateBest {
+        fn run(&mut self, ctx: &mut Ctx<'_>, _tid: ThreadId) {
+            let broadcast = {
+                let st = ctx.user_mut::<TspState>();
+                if self.best < st.best {
+                    st.best = self.best;
+                    true
+                } else {
+                    false
+                }
+            };
+            if broadcast {
+                let bound_fn = ctx.user::<TspState>().bound_fn;
+                let n = ctx.num_nodes();
+                for node in 1..n {
+                    let mut a = ArgsWriter::new();
+                    a.u32(self.best);
+                    ctx.invoke(NodeId(node), FuncId(bound_fn), a.finish());
+                }
+            }
+            ctx.end();
+        }
+    }
+
+    /// A bound improvement arriving at a worker's cache.
+    struct NewBound {
+        best: u32,
+    }
+
+    impl ThreadedFn for NewBound {
+        fn run(&mut self, ctx: &mut Ctx<'_>, _tid: ThreadId) {
+            let st = ctx.user_mut::<TspState>();
+            st.best = st.best.min(self.best);
+            ctx.end();
+        }
+    }
+
+    /// Root frame: seed one token per depth-2 prefix, join, report.
+    struct Root {
+        subtree_fn: FuncId,
+    }
+
+    impl ThreadedFn for Root {
+        fn run(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId) {
+            match tid {
+                ThreadId(0) => {
+                    let (n, prefixes) = {
+                        let st: &TspState = ctx.user();
+                        let n = st.d.n();
+                        let mut prefixes = Vec::new();
+                        for a in 1..n {
+                            for b in 1..n {
+                                if b != a {
+                                    prefixes.push((a, b));
+                                }
+                            }
+                        }
+                        (n, prefixes)
+                    };
+                    let _ = n;
+                    ctx.init_sync(SlotId(0), prefixes.len() as i32, 0, ThreadId(1));
+                    for (a, b) in prefixes {
+                        let cost = {
+                            let st: &TspState = ctx.user();
+                            st.d.dist(0, a) + st.d.dist(a, b)
+                        };
+                        let mut args = ArgsWriter::new();
+                        args.u32(cost)
+                            .slot(ctx.slot_ref(SlotId(0)))
+                            .u8(3)
+                            .u8(0)
+                            .u8(a as u8)
+                            .u8(b as u8);
+                        ctx.token(self.subtree_fn, args.finish());
+                    }
+                }
+                ThreadId(1) => {
+                    ctx.mark("tsp-done");
+                    ctx.end();
+                }
+                other => unreachable!("root has no thread {other:?}"),
+            }
+        }
+    }
+
+    /// Result of a parallel TSP run.
+    pub struct TspRun {
+        /// Optimal tour cost found.
+        pub best: u32,
+        /// Total search nodes expanded (may beat sequential!).
+        pub expanded: u64,
+        /// Virtual elapsed time.
+        pub elapsed: VirtualDuration,
+    }
+
+    /// Run parallel branch-and-bound over `nodes` simulated nodes.
+    pub fn solve_parallel(d: &Distances, nodes: u16, seed: u64) -> TspRun {
+        let mut rt = Runtime::new(MachineConfig::manna(nodes).with_jitter(0.02), seed);
+        let subtree_fn = rt.register("tsp-subtree", |a: &mut ArgsReader<'_>| {
+            let cost = a.u32();
+            let done = a.slot();
+            let len = a.u8() as usize;
+            let prefix = (0..len).map(|_| a.u8()).collect();
+            Box::new(SubTree { prefix, cost, done })
+        });
+        let update_fn = rt.register("tsp-update", |a: &mut ArgsReader<'_>| {
+            Box::new(UpdateBest { best: a.u32() })
+        });
+        let bound_fn = rt.register("tsp-bound", |a: &mut ArgsReader<'_>| {
+            Box::new(NewBound { best: a.u32() })
+        });
+        let root_fn = rt.register("tsp-root", move |_| Box::new(Root { subtree_fn }));
+        let init_best = d.nearest_neighbour();
+        for node in 0..nodes {
+            rt.set_state(
+                NodeId(node),
+                TspState {
+                    d: d.clone(),
+                    best: init_best,
+                    expanded: 0,
+                    update_fn: update_fn.0,
+                    bound_fn: bound_fn.0,
+                },
+            );
+        }
+        rt.inject_invoke(NodeId(0), root_fn, ArgsWriter::new().finish());
+        let report = rt.run();
+        assert!(report.is_clean(), "tsp run left debris: {report}");
+        let done = report.mark("tsp-done").expect("tsp incomplete");
+        let best = (0..nodes)
+            .map(|n| rt.state::<TspState>(NodeId(n)).best)
+            .min()
+            .unwrap();
+        let expanded = (0..nodes)
+            .map(|n| rt.state::<TspState>(NodeId(n)).expanded)
+            .sum();
+        TspRun {
+            best,
+            expanded,
+            elapsed: done.since(VirtualTime::ZERO),
+        }
+    }
+}
+
+// ===========================================================================
+// Self-avoiding walks (the Protein Folding miniature)
+// ===========================================================================
+
+/// Exhaustive enumeration of self-avoiding walks on the square lattice.
+pub mod saw {
+    use super::*;
+
+    /// Count self-avoiding walks of exactly `steps` steps starting at the
+    /// origin (all directions counted; classic values 4, 12, 36, 100,
+    /// 284, 780, 2172, ...).
+    pub fn count_sequential(steps: u32) -> u64 {
+        fn rec(steps: u32, x: i32, y: i32, occupied: &mut Vec<(i32, i32)>) -> u64 {
+            if steps == 0 {
+                return 1;
+            }
+            let mut total = 0;
+            for (dx, dy) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
+                let (nx, ny) = (x + dx, y + dy);
+                if occupied.contains(&(nx, ny)) {
+                    continue;
+                }
+                occupied.push((nx, ny));
+                total += rec(steps - 1, nx, ny, occupied);
+                occupied.pop();
+            }
+            total
+        }
+        rec(steps, 0, 0, &mut vec![(0, 0)])
+    }
+
+    /// Virtual cost of extending one walk by one site.
+    pub fn site_cost() -> VirtualDuration {
+        VirtualDuration::from_us(4)
+    }
+
+    struct SawState {
+        /// Node 0: accumulated count.
+        count: u64,
+    }
+
+    /// A task: enumerate all completions of a walk prefix. Prefixes below
+    /// `split_depth` fork one token per extension; deeper ones run
+    /// sequentially.
+    struct Walk {
+        /// Packed (x, y) path so far.
+        path: Vec<(i8, i8)>,
+        remaining: u32,
+        split: u32,
+        done: SlotRef,
+        me: Option<FuncId>,
+        add_fn: u32,
+    }
+
+    const T_JOINED: ThreadId = ThreadId(1);
+
+    impl ThreadedFn for Walk {
+        fn run(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId) {
+            match tid {
+                ThreadId(0) => {
+                    if self.remaining == 0 {
+                        self.report(ctx, 1);
+                        ctx.sync(self.done);
+                        ctx.end();
+                        return;
+                    }
+                    let (x, y) = *self.path.last().unwrap();
+                    let extensions: Vec<(i8, i8)> = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+                        .iter()
+                        .map(|&(dx, dy)| (x + dx, y + dy))
+                        .filter(|p| !self.path.contains(p))
+                        .collect();
+                    ctx.compute(site_cost().times(4));
+                    if extensions.is_empty() {
+                        // Dead end: contributes no walks of full length.
+                        ctx.sync(self.done);
+                        ctx.end();
+                        return;
+                    }
+                    if self.split == 0 {
+                        // Sequential tail: enumerate locally.
+                        let mut occupied: Vec<(i32, i32)> =
+                            self.path.iter().map(|&(a, b)| (a as i32, b as i32)).collect();
+                        let mut sites = 0u64;
+                        let count = {
+                            fn rec(
+                                steps: u32,
+                                x: i32,
+                                y: i32,
+                                occupied: &mut Vec<(i32, i32)>,
+                                sites: &mut u64,
+                            ) -> u64 {
+                                if steps == 0 {
+                                    return 1;
+                                }
+                                let mut total = 0;
+                                for (dx, dy) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
+                                    *sites += 1;
+                                    let (nx, ny) = (x + dx, y + dy);
+                                    if occupied.contains(&(nx, ny)) {
+                                        continue;
+                                    }
+                                    occupied.push((nx, ny));
+                                    total += rec(steps - 1, nx, ny, occupied, sites);
+                                    occupied.pop();
+                                }
+                                total
+                            }
+                            let (lx, ly) = (x as i32, y as i32);
+                            rec(self.remaining, lx, ly, &mut occupied, &mut sites)
+                        };
+                        ctx.compute(site_cost().times(sites));
+                        self.report(ctx, count);
+                        ctx.sync(self.done);
+                        ctx.end();
+                        return;
+                    }
+                    // Fork one token per extension.
+                    ctx.init_sync(SlotId(0), extensions.len() as i32, 0, T_JOINED);
+                    for ext in extensions {
+                        let mut args = ArgsWriter::new();
+                        args.u32(self.remaining - 1)
+                            .u32(self.split - 1)
+                            .slot(ctx.slot_ref(SlotId(0)))
+                            .u32(self.me.unwrap().0)
+                            .u32(self.add_fn)
+                            .u8(self.path.len() as u8 + 1);
+                        for &(px, py) in &self.path {
+                            args.u8(px as u8).u8(py as u8);
+                        }
+                        args.u8(ext.0 as u8).u8(ext.1 as u8);
+                        ctx.token(self.me.unwrap(), args.finish());
+                    }
+                }
+                T_JOINED => {
+                    ctx.sync(self.done);
+                    ctx.end();
+                }
+                other => unreachable!("walk has no thread {other:?}"),
+            }
+        }
+    }
+
+    impl Walk {
+        fn report(&self, ctx: &mut Ctx<'_>, count: u64) {
+            if count == 0 {
+                return;
+            }
+            let mut a = ArgsWriter::new();
+            a.u64(count);
+            ctx.invoke(NodeId(0), FuncId(self.add_fn), a.finish());
+        }
+    }
+
+    /// Accumulate a partial count on node 0.
+    struct AddCount {
+        count: u64,
+    }
+
+    impl ThreadedFn for AddCount {
+        fn run(&mut self, ctx: &mut Ctx<'_>, _tid: ThreadId) {
+            ctx.user_mut::<SawState>().count += self.count;
+            ctx.end();
+        }
+    }
+
+    struct Root {
+        walk_fn: FuncId,
+        add_fn: FuncId,
+        steps: u32,
+        split: u32,
+    }
+
+    impl ThreadedFn for Root {
+        fn run(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId) {
+            match tid {
+                ThreadId(0) => {
+                    ctx.init_sync(SlotId(0), 1, 0, ThreadId(1));
+                    let mut args = ArgsWriter::new();
+                    args.u32(self.steps)
+                        .u32(self.split)
+                        .slot(ctx.slot_ref(SlotId(0)))
+                        .u32(self.walk_fn.0)
+                        .u32(self.add_fn.0)
+                        .u8(1)
+                        .u8(0)
+                        .u8(0);
+                    ctx.token(self.walk_fn, args.finish());
+                }
+                ThreadId(1) => {
+                    ctx.mark("saw-done");
+                    ctx.end();
+                }
+                other => unreachable!("root has no thread {other:?}"),
+            }
+        }
+    }
+
+    /// Result of a parallel enumeration.
+    pub struct SawRun {
+        /// Number of self-avoiding walks of the requested length.
+        pub count: u64,
+        /// Virtual elapsed time.
+        pub elapsed: VirtualDuration,
+    }
+
+    /// Enumerate walks of length `steps` in parallel, forking tokens for
+    /// the first `split` levels.
+    pub fn count_parallel(steps: u32, split: u32, nodes: u16, seed: u64) -> SawRun {
+        let mut rt = Runtime::new(MachineConfig::manna(nodes), seed);
+        let walk_fn = rt.register("saw-walk", |a: &mut ArgsReader<'_>| {
+            let remaining = a.u32();
+            let split = a.u32();
+            let done = a.slot();
+            let me = FuncId(a.u32());
+            let add_fn = a.u32();
+            let len = a.u8() as usize;
+            let path = (0..len).map(|_| (a.u8() as i8, a.u8() as i8)).collect();
+            Box::new(Walk {
+                path,
+                remaining,
+                split,
+                done,
+                me: Some(me),
+                add_fn,
+            })
+        });
+        let add_fn = rt.register("saw-add", |a: &mut ArgsReader<'_>| {
+            Box::new(AddCount { count: a.u64() })
+        });
+        let split_actual = split;
+        let root_fn = rt.register("saw-root", move |a: &mut ArgsReader<'_>| {
+            let steps = a.u32();
+            Box::new(Root {
+                walk_fn,
+                add_fn,
+                steps,
+                split: split_actual,
+            })
+        });
+        for node in 0..nodes {
+            rt.set_state(NodeId(node), SawState { count: 0 });
+        }
+        let mut args = ArgsWriter::new();
+        args.u32(steps);
+        rt.inject_invoke(NodeId(0), root_fn, args.finish());
+        let report = rt.run();
+        assert!(report.is_clean(), "saw run left debris: {report}");
+        let done = report.mark("saw-done").expect("saw incomplete");
+        SawRun {
+            count: rt.state::<SawState>(NodeId(0)).count,
+            elapsed: done.since(VirtualTime::ZERO),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saw_counts_match_known_series() {
+        // OEIS A001411: 4, 12, 36, 100, 284, 780, 2172
+        let want = [4u64, 12, 36, 100, 284, 780, 2172];
+        for (i, &w) in want.iter().enumerate() {
+            assert_eq!(saw::count_sequential(i as u32 + 1), w, "length {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn parallel_saw_matches_sequential() {
+        for steps in [5u32, 8] {
+            let run = saw::count_parallel(steps, 3, 6, 1);
+            assert_eq!(run.count, saw::count_sequential(steps), "steps {steps}");
+        }
+    }
+
+    #[test]
+    fn parallel_saw_speeds_up() {
+        let steps = 9;
+        let one = saw::count_parallel(steps, 3, 1, 2);
+        let eight = saw::count_parallel(steps, 3, 8, 2);
+        let speedup = one.elapsed.as_us_f64() / eight.elapsed.as_us_f64();
+        assert!(speedup > 4.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn tsp_sequential_finds_optimum_on_small_instance() {
+        // Brute-force cross-check on a 7-city instance.
+        let d = tsp::Distances::random(7, 3);
+        let seq = tsp::solve_sequential(&d);
+        // brute force
+        let mut perm: Vec<usize> = (1..7).collect();
+        let mut best = u32::MAX;
+        fn permute(
+            d: &tsp::Distances,
+            perm: &mut Vec<usize>,
+            k: usize,
+            best: &mut u32,
+        ) {
+            if k == perm.len() {
+                let mut cost = d.dist(0, perm[0]);
+                for w in perm.windows(2) {
+                    cost += d.dist(w[0], w[1]);
+                }
+                cost += d.dist(*perm.last().unwrap(), 0);
+                *best = (*best).min(cost);
+                return;
+            }
+            for i in k..perm.len() {
+                perm.swap(k, i);
+                permute(d, perm, k + 1, best);
+                perm.swap(k, i);
+            }
+        }
+        permute(&d, &mut perm, 0, &mut best);
+        assert_eq!(seq.best, best);
+    }
+
+    #[test]
+    fn parallel_tsp_finds_the_same_optimum() {
+        let d = tsp::Distances::random(9, 7);
+        let seq = tsp::solve_sequential(&d);
+        for nodes in [1u16, 4, 8] {
+            let run = tsp::solve_parallel(&d, nodes, 5);
+            assert_eq!(run.best, seq.best, "{nodes} nodes");
+        }
+    }
+
+    #[test]
+    fn parallel_tsp_speeds_up() {
+        let d = tsp::Distances::random(10, 11);
+        let one = tsp::solve_parallel(&d, 1, 1);
+        let twelve = tsp::solve_parallel(&d, 12, 1);
+        let speedup = one.elapsed.as_us_f64() / twelve.elapsed.as_us_f64();
+        assert!(speedup > 4.0, "speedup {speedup}");
+    }
+}
+
+// ===========================================================================
+// Paraffins
+// ===========================================================================
+
+/// The Paraffins benchmark (§3.1 cites it among the search problems
+/// already demonstrated on EARTH-MANNA): count the distinct isomers of
+/// the alkanes C_n H_{2n+2} up to a given size, via radical (rooted
+/// subtree) counting around the molecule's centroid — the classic
+/// Sisal/Id kernel.
+pub mod paraffins {
+    use super::*;
+
+    /// Multisets of `k` items drawn from `r` interchangeable types:
+    /// `C(r + k - 1, k)`.
+    fn multichoose(r: u64, k: u64) -> u64 {
+        if k == 0 {
+            return 1;
+        }
+        let mut num: u128 = 1;
+        let mut den: u128 = 1;
+        for i in 0..k {
+            num *= (r + k - 1 - i) as u128;
+            den *= (i + 1) as u128;
+        }
+        u64::try_from(num / den).expect("paraffin count fits u64")
+    }
+
+    /// Number of radicals (rooted trees, root degree ≤ 3) of each carbon
+    /// count `0..=n` — OEIS A000598 (1, 1, 1, 2, 4, 8, 17, 39, ...).
+    pub fn radicals(n: usize) -> Vec<u64> {
+        let mut rad = vec![0u64; n + 1];
+        rad[0] = 1; // the hydrogen "radical"
+        for size in 1..=n {
+            let target = size - 1;
+            let mut total = 0u64;
+            // multisets {a <= b <= c} of subtree sizes summing to size-1
+            for a in 0..=target / 3 {
+                for b in a..=(target - a) / 2 {
+                    let c = target - a - b;
+                    debug_assert!(c >= b);
+                    total += if a == b && b == c {
+                        multichoose(rad[a], 3)
+                    } else if a == b {
+                        multichoose(rad[a], 2) * rad[c]
+                    } else if b == c {
+                        rad[a] * multichoose(rad[b], 2)
+                    } else {
+                        rad[a] * rad[b] * rad[c]
+                    };
+                }
+            }
+            rad[size] = total;
+        }
+        rad
+    }
+
+    /// Count the ways to hang 4 radicals, sizes summing to `total`, each
+    /// of size at most `cap`, on a central carbon.
+    fn carbon_centered(rad: &[u64], total: usize, cap: usize) -> u64 {
+        let mut count = 0u64;
+        // multisets {a <= b <= c <= d}
+        for a in 0..=total / 4 {
+            for b in a..=(total - a) / 3 {
+                for c in b..=(total - a - b) / 2 {
+                    let d = total - a - b - c;
+                    if d < c || d > cap {
+                        continue;
+                    }
+                    // group equal sizes and multiply multiset choices
+                    let sizes = [a, b, c, d];
+                    let mut ways = 1u64;
+                    let mut i = 0;
+                    while i < 4 {
+                        let mut j = i;
+                        while j < 4 && sizes[j] == sizes[i] {
+                            j += 1;
+                        }
+                        ways *= multichoose(rad[sizes[i]], (j - i) as u64);
+                        i = j;
+                    }
+                    count += ways;
+                }
+            }
+        }
+        count
+    }
+
+    /// Number of paraffin isomers of exactly `size` carbons (centroid
+    /// decomposition: bond-centered for even sizes + carbon-centered).
+    pub fn isomers(rad: &[u64], size: usize) -> u64 {
+        assert!(size >= 1);
+        let mut total = 0u64;
+        if size.is_multiple_of(2) {
+            // central bond: an unordered pair of radicals of size/2
+            total += multichoose(rad[size / 2], 2);
+        }
+        // central carbon: 4 radicals, each strictly smaller than half
+        let cap = (size - 1) / 2;
+        total += carbon_centered(rad, size - 1, cap);
+        total
+    }
+
+    /// Sequential count of isomers for every size `1..=n`.
+    pub fn count_sequential(n: usize) -> Vec<u64> {
+        let rad = radicals(n / 2 + 1);
+        (1..=n).map(|s| isomers(&rad, s)).collect()
+    }
+
+    /// Virtual cost of evaluating one size's partition enumeration.
+    pub fn size_cost(size: usize) -> VirtualDuration {
+        // partition count grows ~ cubically with size
+        VirtualDuration::from_us(20 + (size as u64).pow(3) / 8)
+    }
+
+    struct ParState {
+        rad: Vec<u64>,
+        results: Vec<(u32, u64)>,
+    }
+
+    /// One token: count the isomers of one size.
+    struct CountSize {
+        size: u32,
+        done: SlotRef,
+        record_fn: u32,
+    }
+
+    impl ThreadedFn for CountSize {
+        fn run(&mut self, ctx: &mut Ctx<'_>, _tid: ThreadId) {
+            let count = {
+                let st: &ParState = ctx.user();
+                isomers(&st.rad, self.size as usize)
+            };
+            ctx.compute(size_cost(self.size as usize));
+            let mut a = ArgsWriter::new();
+            a.u32(self.size).u64(count);
+            ctx.invoke(NodeId(0), FuncId(self.record_fn), a.finish());
+            ctx.sync(self.done);
+            ctx.end();
+        }
+    }
+
+    struct Record {
+        size: u32,
+        count: u64,
+    }
+
+    impl ThreadedFn for Record {
+        fn run(&mut self, ctx: &mut Ctx<'_>, _tid: ThreadId) {
+            ctx.user_mut::<ParState>().results.push((self.size, self.count));
+            ctx.end();
+        }
+    }
+
+    struct Root {
+        n: u32,
+        count_fn: FuncId,
+        record_fn: FuncId,
+    }
+
+    impl ThreadedFn for Root {
+        fn run(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId) {
+            match tid {
+                ThreadId(0) => {
+                    // The radical table is computed centrally (cheap DP),
+                    // then one token per molecule size fans out.
+                    ctx.compute(VirtualDuration::from_ms(2));
+                    ctx.init_sync(SlotId(0), self.n as i32, 0, ThreadId(1));
+                    for size in 1..=self.n {
+                        let mut a = ArgsWriter::new();
+                        a.u32(size)
+                            .slot(ctx.slot_ref(SlotId(0)))
+                            .u32(self.record_fn.0);
+                        ctx.token(self.count_fn, a.finish());
+                    }
+                }
+                ThreadId(1) => {
+                    ctx.mark("paraffins-done");
+                    ctx.end();
+                }
+                other => unreachable!("root has no thread {other:?}"),
+            }
+        }
+    }
+
+    /// Result of a parallel paraffins run.
+    pub struct ParaffinsRun {
+        /// `counts[k]` = isomers of size `k + 1`.
+        pub counts: Vec<u64>,
+        /// Virtual elapsed time.
+        pub elapsed: VirtualDuration,
+    }
+
+    /// Count isomers of sizes `1..=n` in parallel: the radical table is
+    /// replicated, one token per size under the load balancer.
+    pub fn count_parallel(n: usize, nodes: u16, seed: u64) -> ParaffinsRun {
+        let mut rt = Runtime::new(MachineConfig::manna(nodes), seed);
+        let rad = radicals(n / 2 + 1);
+        for node in 0..nodes {
+            rt.set_state(
+                NodeId(node),
+                ParState {
+                    rad: rad.clone(),
+                    results: Vec::new(),
+                },
+            );
+        }
+        let record_fn = rt.register("paraffins-record", |a: &mut ArgsReader<'_>| {
+            Box::new(Record {
+                size: a.u32(),
+                count: a.u64(),
+            }) as Box<dyn ThreadedFn>
+        });
+        let count_fn = rt.register("paraffins-count", |a: &mut ArgsReader<'_>| {
+            Box::new(CountSize {
+                size: a.u32(),
+                done: a.slot(),
+                record_fn: a.u32(),
+            }) as Box<dyn ThreadedFn>
+        });
+        let root_fn = rt.register("paraffins-root", move |a: &mut ArgsReader<'_>| {
+            Box::new(Root {
+                n: a.u32(),
+                count_fn,
+                record_fn,
+            }) as Box<dyn ThreadedFn>
+        });
+        let mut args = ArgsWriter::new();
+        args.u32(n as u32);
+        rt.inject_invoke(NodeId(0), root_fn, args.finish());
+        let report = rt.run();
+        assert!(report.is_clean(), "paraffins run left debris");
+        let done = report.mark("paraffins-done").expect("incomplete");
+        let mut results = std::mem::take(&mut rt.state_mut::<ParState>(NodeId(0)).results);
+        results.sort_unstable();
+        ParaffinsRun {
+            counts: results.into_iter().map(|(_, c)| c).collect(),
+            elapsed: done.since(VirtualTime::ZERO),
+        }
+    }
+}
+
+#[cfg(test)]
+mod paraffins_tests {
+    use super::paraffins;
+
+    #[test]
+    fn radical_counts_match_oeis_a000598() {
+        let rad = paraffins::radicals(10);
+        assert_eq!(&rad[..11], &[1, 1, 1, 2, 4, 8, 17, 39, 89, 211, 507]);
+    }
+
+    #[test]
+    fn isomer_counts_match_oeis_a000602() {
+        // Alkane isomer counts: methane..tetradecane.
+        let want = [
+            1u64, 1, 1, 2, 3, 5, 9, 18, 35, 75, 159, 355, 802, 1858,
+        ];
+        let got = paraffins::count_sequential(14);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let run = paraffins::count_parallel(14, 6, 3);
+        assert_eq!(run.counts, paraffins::count_sequential(14));
+    }
+
+    #[test]
+    fn parallel_speeds_up() {
+        let one = paraffins::count_parallel(20, 1, 1);
+        let eight = paraffins::count_parallel(20, 8, 1);
+        let sp = one.elapsed.as_us_f64() / eight.elapsed.as_us_f64();
+        // Amdahl-limited: the sequential radical DP plus the one biggest
+        // size dominate, so modest machine counts see modest speedup.
+        assert!(sp > 1.5, "speedup {sp}");
+        // larger sizes dominate; check counts still exact at 20 carbons
+        assert_eq!(one.counts.last(), Some(&366_319));
+    }
+}

@@ -1,0 +1,48 @@
+//! Benchmarks regenerating Table 1 and Figure 2 (Eigenvalue).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use earth_apps::eigen::{run_eigen, FetchMode};
+use earth_bench::{eigen_matrix, eigen_tol, Scale};
+use earth_linalg::bisect::bisect_all;
+use earth_linalg::sturm::negcount;
+
+/// Table 1 substrate: the Sturm count (the unit of work) and the full
+/// sequential bisection characterization.
+fn bench_table1(c: &mut Criterion) {
+    let m = eigen_matrix(Scale::Quick);
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("sturm_negcount_120", |b| {
+        b.iter(|| negcount(&m, std::hint::black_box(1.0)))
+    });
+    g.bench_function("bisect_all_120", |b| b.iter(|| bisect_all(&m, 1e-5)));
+    g.finish();
+}
+
+/// Figure 2: the parallel runs, both argument-fetch variants.
+fn bench_fig2(c: &mut Criterion) {
+    let m = eigen_matrix(Scale::Quick);
+    let tol = eigen_tol(Scale::Quick);
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    for (label, mode) in [
+        ("individual", FetchMode::Individual),
+        ("blockmove", FetchMode::Block),
+    ] {
+        g.bench_function(format!("run_eigen_8nodes_{label}"), |b| {
+            b.iter(|| run_eigen(&m, tol, 8, 42, mode))
+        });
+    }
+    g.finish();
+
+    // Print the simulated figure-2 data point once.
+    let (_, stats) = bisect_all(&m, tol);
+    let seq = earth_linalg::cost::sequential_runtime(&stats, m.n());
+    let run = run_eigen(&m, tol, 8, 42, FetchMode::Block);
+    eprintln!(
+        "fig2 @8 nodes: simulated speedup {:.2}",
+        seq.as_us_f64() / run.elapsed.as_us_f64()
+    );
+}
+
+criterion_group!(benches, bench_table1, bench_fig2);
+criterion_main!(benches);

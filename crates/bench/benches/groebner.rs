@@ -1,0 +1,52 @@
+//! Benchmarks regenerating Table 2 and Figures 4/5 (Gröbner Basis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use earth_algebra::buchberger::{buchberger, SelectionStrategy};
+use earth_algebra::inputs::{katsura, lazard_workload};
+use earth_apps::groebner::run_groebner;
+
+/// Table 2 substrate: sequential completion of the named inputs.
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    let (rl, il) = lazard_workload();
+    g.bench_function("buchberger_lazard", |b| {
+        b.iter(|| buchberger(&rl, &il, SelectionStrategy::Sugar))
+    });
+    let (r4, i4) = katsura(4);
+    g.bench_function("buchberger_katsura4", |b| {
+        b.iter(|| buchberger(&r4, &i4, SelectionStrategy::Sugar))
+    });
+    g.finish();
+}
+
+/// Figure 4: parallel completion under native EARTH costs.
+fn bench_fig4(c: &mut Criterion) {
+    let (ring, input) = katsura(3);
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for nodes in [2u16, 5, 8] {
+        g.bench_function(format!("run_groebner_k3_{nodes}nodes"), |b| {
+            b.iter(|| run_groebner(&ring, &input, nodes, 1, SelectionStrategy::Sugar, None))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 5: the message-passing overhead variants.
+fn bench_fig5(c: &mut Criterion) {
+    let (ring, input) = katsura(3);
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for us in [300u64, 1000] {
+        g.bench_function(format!("run_groebner_k3_5nodes_mp{us}"), |b| {
+            b.iter(|| {
+                run_groebner(&ring, &input, 5, 1, SelectionStrategy::Sugar, Some(us))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2, bench_fig4, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Benchmarks regenerating Table 3 and Figures 7/8 (neural networks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use earth_apps::neural::{run_neural, CommsShape, PassMode};
+use earth_nn::net::Mlp;
+use earth_sim::Rng;
+
+/// Table 3 substrate: the real f32 forward pass at the paper's sizes.
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    for units in [80usize, 200] {
+        let net = Mlp::square(units, 1);
+        let mut rng = Rng::new(2);
+        let input: Vec<f32> = (0..units)
+            .map(|_| rng.gen_f64_range(-1.0, 1.0) as f32)
+            .collect();
+        g.bench_function(format!("forward_{units}u"), |b| {
+            b.iter(|| net.forward(std::hint::black_box(&input)))
+        });
+        let target: Vec<f32> = (0..units).map(|_| 0.5).collect();
+        let mut train_net = net.clone();
+        g.bench_function(format!("train_sample_{units}u"), |b| {
+            b.iter(|| train_net.train_sample(&input, &target, 0.5))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 7: unit-parallel forward pass on the simulator.
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    for nodes in [4u16, 16] {
+        g.bench_function(format!("run_neural_80u_fwd_{nodes}nodes"), |b| {
+            b.iter(|| run_neural(80, nodes, 2, 7, PassMode::Forward, CommsShape::Tree))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 8: unit-parallel forward+backward.
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("run_neural_80u_fwdbwd_16nodes", |b| {
+        b.iter(|| {
+            run_neural(
+                80,
+                16,
+                2,
+                7,
+                PassMode::ForwardBackward,
+                CommsShape::Tree,
+            )
+        })
+    });
+    g.finish();
+}
+
+/// The §3.3 communication-shape ablation.
+fn bench_comms_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comms_ablation");
+    g.sample_size(10);
+    for (label, shape) in [
+        ("sequential", CommsShape::Sequential),
+        ("tree", CommsShape::Tree),
+    ] {
+        g.bench_function(format!("run_neural_80u_16nodes_{label}"), |b| {
+            b.iter(|| run_neural(80, 16, 2, 7, PassMode::Forward, shape))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table3,
+    bench_fig7,
+    bench_fig8,
+    bench_comms_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] [--json] [table1|fig2|table2|fig4|fig5|table3|fig7|fig8|ablation|dual|all]
+//! ```
+//!
+//! `--quick` shrinks matrices and seed counts (same shapes, CI speed).
+//! `--json` emits one machine-readable JSON record per experiment
+//! instead of the text tables.
+
+use earth_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let scale = if quick { Scale::Quick } else { Scale::Paper };
+    let what: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.as_str())
+        .collect();
+    let all = what.is_empty() || what.contains(&"all");
+    let want = |name: &str| all || what.contains(&name);
+
+    if !json {
+        println!("=== EARTH-MANNA reproduction ({:?} scale) ===\n", scale);
+    }
+
+    if want("table1") {
+        let t = table1(scale);
+        println!("{}", if json { t.to_json() } else { t.render() });
+    }
+    if want("fig2") {
+        let f = fig2(scale);
+        println!("{}", if json { f.to_json() } else { f.render() });
+    }
+    if want("table2") {
+        let t = table2();
+        println!("{}", if json { t.to_json() } else { t.render() });
+    }
+    if want("fig4") {
+        let curves = fig4(scale);
+        if json {
+            println!("{}", groebner_curves_to_json("fig4", &curves));
+        } else {
+            println!(
+                "{}",
+                render_groebner_curves(
+                    "Figure 4: Groebner speedups, EARTH (paper limits: ~9@11 Lazard, ~12@12 K4, ~12.5@14 K5)",
+                    &curves
+                )
+            );
+        }
+    }
+    if want("fig5") {
+        let curves = fig5(scale);
+        if json {
+            println!("{}", groebner_curves_to_json("fig5", &curves));
+        } else {
+            println!(
+                "{}",
+                render_groebner_curves(
+                    "Figure 5: Groebner speedups under message-passing overheads (paper: EARTH scales, 300-1000us collapse except coarse-grained Katsura-5)",
+                    &curves
+                )
+            );
+        }
+    }
+    if want("table3") {
+        let t = table3(scale);
+        println!("{}", if json { t.to_json() } else { t.render() });
+    }
+    if want("fig7") {
+        let curves = fig7(scale);
+        if json {
+            println!("{}", neural_curves_to_json("fig7", &curves));
+        } else {
+            println!(
+                "{}",
+                render_neural_curves(
+                    "Figure 7: NN forward-only speedups (paper: 11@16 for 80u, 17@20 for 200u)",
+                    &curves
+                )
+            );
+        }
+    }
+    if want("fig8") {
+        let curves = fig8(scale);
+        if json {
+            println!("{}", neural_curves_to_json("fig8", &curves));
+        } else {
+            println!(
+                "{}",
+                render_neural_curves(
+                    "Figure 8: NN forward+backward speedups (paper: 10@16 for 80u, 14.5@20 for 200u)",
+                    &curves
+                )
+            );
+        }
+    }
+    if want("ablation") {
+        let a = comms_ablation(scale);
+        println!("{}", if json { a.to_json() } else { a.render() });
+    }
+    if want("dual") {
+        println!("{}", dual_check(scale).render());
+    }
+}

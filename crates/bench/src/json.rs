@@ -1,0 +1,210 @@
+//! Minimal JSON emission for experiment records.
+//!
+//! The harness writes a machine-readable record of every regenerated
+//! table/figure (`repro --json`), so plots and regression checks can
+//! consume results without parsing the text rendering. Hand-rolled to
+//! keep the dependency set at the workspace's approved minimum.
+
+use crate::experiments::*;
+use std::fmt::Write as _;
+
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn series(xs: &[f64]) -> String {
+    let mut s = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&num(*x));
+    }
+    s.push(']');
+    s
+}
+
+fn nodes_list(nodes: &[u16]) -> String {
+    let mut s = String::from("[");
+    for (i, n) in nodes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{n}");
+    }
+    s.push(']');
+    s
+}
+
+impl Table1 {
+    /// JSON record.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"experiment\":\"table1\",\"n\":{},\"seq_ms\":{},\"tasks\":{},\"mean_step_ms\":{},\"min_depth\":{},\"max_depth\":{}}}",
+            self.n,
+            num(self.seq.as_ms_f64()),
+            self.tasks,
+            num(self.mean_step.as_ms_f64()),
+            self.depth.0,
+            self.depth.1
+        )
+    }
+}
+
+impl Fig2 {
+    /// JSON record.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"experiment\":\"fig2\",\"nodes\":{},\"individual\":{},\"block\":{}}}",
+            nodes_list(&self.nodes),
+            series(&self.individual),
+            series(&self.block)
+        )
+    }
+}
+
+impl Table2 {
+    /// JSON record.
+    pub fn to_json(&self) -> String {
+        let mut rows = String::from("[");
+        for (i, (name, seq, pairs, added, step, size)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                rows.push(',');
+            }
+            let _ = write!(
+                rows,
+                "{{\"input\":\"{name}\",\"seq_ms\":{},\"pairs\":{pairs},\"added\":{added},\"mean_step_ms\":{},\"mean_size_bytes\":{}}}",
+                num(seq.as_ms_f64()),
+                num(step.as_ms_f64()),
+                num(*size)
+            );
+        }
+        rows.push(']');
+        format!("{{\"experiment\":\"table2\",\"rows\":{rows}}}")
+    }
+}
+
+/// JSON record for a set of Gröbner speedup curves (figs 4/5).
+pub fn groebner_curves_to_json(experiment: &str, curves: &[GroebnerCurve]) -> String {
+    let mut arr = String::from("[");
+    for (i, c) in curves.iter().enumerate() {
+        if i > 0 {
+            arr.push(',');
+        }
+        let overhead = match c.overhead_us {
+            None => "null".to_string(),
+            Some(us) => us.to_string(),
+        };
+        let mean: Vec<f64> = c.speedups.iter().map(|s| s.mean).collect();
+        let min: Vec<f64> = c.speedups.iter().map(|s| s.min).collect();
+        let max: Vec<f64> = c.speedups.iter().map(|s| s.max).collect();
+        let _ = write!(
+            arr,
+            "{{\"input\":\"{}\",\"overhead_us\":{overhead},\"nodes\":{},\"mean\":{},\"min\":{},\"max\":{}}}",
+            c.input,
+            nodes_list(&c.nodes),
+            series(&mean),
+            series(&min),
+            series(&max)
+        );
+    }
+    arr.push(']');
+    format!("{{\"experiment\":\"{experiment}\",\"curves\":{arr}}}")
+}
+
+/// JSON record for neural curves (figs 7/8).
+pub fn neural_curves_to_json(experiment: &str, curves: &[NeuralCurve]) -> String {
+    let mut arr = String::from("[");
+    for (i, c) in curves.iter().enumerate() {
+        if i > 0 {
+            arr.push(',');
+        }
+        let times: Vec<f64> = c.per_sample.iter().map(|t| t.as_us_f64()).collect();
+        let _ = write!(
+            arr,
+            "{{\"units\":{},\"nodes\":{},\"speedup\":{},\"per_sample_us\":{}}}",
+            c.units,
+            nodes_list(&c.nodes),
+            series(&c.speedups),
+            series(&times)
+        );
+    }
+    arr.push(']');
+    format!("{{\"experiment\":\"{experiment}\",\"curves\":{arr}}}")
+}
+
+impl Table3 {
+    /// JSON record.
+    pub fn to_json(&self) -> String {
+        let mut rows = String::from("[");
+        for (i, (units, seq, per_unit)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                rows.push(',');
+            }
+            let _ = write!(
+                rows,
+                "{{\"units\":{units},\"seq_ms\":{},\"per_unit_us\":{}}}",
+                num(seq.as_ms_f64()),
+                num(per_unit.as_us_f64())
+            );
+        }
+        rows.push(']');
+        format!("{{\"experiment\":\"table3\",\"rows\":{rows}}}")
+    }
+}
+
+impl CommsAblation {
+    /// JSON record.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"experiment\":\"comms_ablation\",\"nodes\":{},\"sequential\":{},\"tree\":{}}}",
+            nodes_list(&self.nodes),
+            series(&self.sequential),
+            series(&self.tree)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::Scale;
+
+    fn is_balanced_json(s: &str) -> bool {
+        // cheap structural sanity: balanced braces/brackets, no NaNs
+        let mut depth = 0i32;
+        for c in s.chars() {
+            match c {
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            if depth < 0 {
+                return false;
+            }
+        }
+        depth == 0 && !s.contains("NaN")
+    }
+
+    #[test]
+    fn table_records_are_wellformed() {
+        let t1 = table1(Scale::Quick);
+        assert!(is_balanced_json(&t1.to_json()), "{}", t1.to_json());
+        assert!(t1.to_json().contains("\"experiment\":\"table1\""));
+        let t3 = table3(Scale::Quick);
+        assert!(is_balanced_json(&t3.to_json()));
+    }
+
+    #[test]
+    fn curve_records_are_wellformed() {
+        let f2 = fig2(Scale::Quick);
+        assert!(is_balanced_json(&f2.to_json()));
+        let ab = comms_ablation(Scale::Quick);
+        assert!(is_balanced_json(&ab.to_json()));
+        assert!(ab.to_json().contains("\"tree\""));
+    }
+}

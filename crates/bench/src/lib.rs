@@ -1,0 +1,19 @@
+//! Experiment harness: the code that regenerates every table and figure
+//! of the paper's evaluation section.
+//!
+//! Each `table*` / `fig*` function runs the corresponding experiment on
+//! the simulated machine and returns the raw numbers plus a formatted
+//! text block mirroring the paper's presentation. The `repro` binary
+//! prints them; EXPERIMENTS.md records paper-vs-measured values.
+//!
+//! Independent simulation runs (different seeds / node counts) are
+//! spread over host threads with `crossbeam` — the simulations
+//! themselves stay single-threaded and deterministic.
+
+pub mod experiments;
+pub mod json;
+pub mod workloads;
+
+pub use experiments::*;
+pub use json::{groebner_curves_to_json, neural_curves_to_json};
+pub use workloads::*;

@@ -1,0 +1,102 @@
+//! Identifiers: global addresses, frames, threads, and sync slots.
+
+use earth_machine::NodeId;
+use std::fmt;
+
+/// An address in EARTH's global address space: a node plus a byte offset
+/// into that node's local memory. Remote loads/stores and block moves all
+/// name their operands this way.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GlobalAddr {
+    /// Owning node.
+    pub node: NodeId,
+    /// Byte offset in the node's local memory.
+    pub offset: u32,
+}
+
+impl GlobalAddr {
+    /// Construct an address.
+    pub fn new(node: NodeId, offset: u32) -> Self {
+        GlobalAddr { node, offset }
+    }
+
+    /// The address `bytes` further into the same node's memory.
+    pub fn plus(self, bytes: u32) -> Self {
+        GlobalAddr {
+            node: self.node,
+            offset: self.offset + bytes,
+        }
+    }
+}
+
+impl fmt::Display for GlobalAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{:#x}", self.node, self.offset)
+    }
+}
+
+/// Index of a live frame in a node's frame store. Carries a generation
+/// counter so that signals addressed to an already-freed frame are detected
+/// and dropped rather than corrupting an unrelated reuse of the slot.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FrameId {
+    /// Slab index.
+    pub index: u32,
+    /// Reuse generation of that slab slot.
+    pub gen: u32,
+}
+
+/// A thread within a threaded function (the `THREAD_n` labels of
+/// Threaded-C). Thread 0 starts when the frame is instantiated.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct ThreadId(pub u8);
+
+/// A sync-slot index within a frame (the third argument of `GET_SYNC` /
+/// `DATA_SYNC` in Threaded-C).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct SlotId(pub u8);
+
+/// A globally addressable sync slot: node + frame + slot. This is what a
+/// split-phase operation or a remote `RSYNC` signals on completion.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SlotRef {
+    /// Node owning the frame.
+    pub node: NodeId,
+    /// The frame.
+    pub frame: FrameId,
+    /// The slot within the frame.
+    pub slot: SlotId,
+}
+
+impl fmt::Display for SlotRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:f{}.{}/s{}",
+            self.node, self.frame.index, self.frame.gen, self.slot.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_plus() {
+        let a = GlobalAddr::new(NodeId(3), 0x100);
+        assert_eq!(a.plus(8).offset, 0x108);
+        assert_eq!(a.plus(8).node, NodeId(3));
+        assert_eq!(a.to_string(), "n3+0x100");
+    }
+
+    #[test]
+    fn slotref_display() {
+        let s = SlotRef {
+            node: NodeId(1),
+            frame: FrameId { index: 5, gen: 2 },
+            slot: SlotId(3),
+        };
+        assert_eq!(s.to_string(), "n1:f5.2/s3");
+    }
+}

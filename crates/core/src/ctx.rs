@@ -1,0 +1,279 @@
+//! The operation context handed to every executing thread.
+//!
+//! `Ctx` is the Rust rendering of EARTH Threaded-C's operation set. A
+//! thread body receives `&mut Ctx` and uses it to charge computation time,
+//! issue split-phase transactions (`GET_SYNC`, `DATA_SYNC`, `BLKMOV`),
+//! invoke threaded functions remotely (`INVOKE` / `TOKEN`), and manage its
+//! frame's sync slots (`INIT_SYNC`, `INCR_SYNC`, `RSYNC`). Operations
+//! never block: each charges its issue cost to the running thread and
+//! schedules the remote side as simulation events.
+
+use crate::addr::{FrameId, GlobalAddr, SlotId, SlotRef, ThreadId};
+use crate::frame::{FrameStore, SyncSlot};
+use crate::msg::{FuncId, Msg, MSG_HEADER};
+use crate::runtime::Runtime;
+use earth_machine::{NodeId, OpClass};
+use earth_sim::{Rng, VirtualDuration, VirtualTime};
+
+/// Execution context of one running thread.
+pub struct Ctx<'a> {
+    rt: &'a mut Runtime,
+    node: NodeId,
+    frame: FrameId,
+    start: VirtualTime,
+    elapsed: VirtualDuration,
+    ended: bool,
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(rt: &'a mut Runtime, node: NodeId, frame: FrameId, start: VirtualTime) -> Self {
+        Ctx {
+            rt,
+            node,
+            frame,
+            start,
+            elapsed: VirtualDuration::ZERO,
+            ended: false,
+        }
+    }
+
+    pub(crate) fn finish(self) -> (VirtualDuration, bool) {
+        (self.elapsed, self.ended)
+    }
+
+    // ---- identity & time ------------------------------------------------
+
+    /// The node this thread runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Total number of machine nodes.
+    pub fn num_nodes(&self) -> u16 {
+        self.rt.num_nodes()
+    }
+
+    /// Current virtual instant (thread start plus charged computation).
+    pub fn now(&self) -> VirtualTime {
+        self.start + self.elapsed
+    }
+
+    /// Node-local deterministic RNG.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rt.nodes[self.node.index()].rng
+    }
+
+    /// Charge `d` of local computation to this thread.
+    pub fn compute(&mut self, d: VirtualDuration) {
+        self.elapsed += d;
+    }
+
+    /// Record a named instant in the run report.
+    pub fn mark(&mut self, label: &str) {
+        let at = self.now();
+        self.rt.marks.push((label.to_string(), at));
+    }
+
+    // ---- frame & sync slots ----------------------------------------------
+
+    /// A globally valid reference to `slot` of this frame.
+    pub fn slot_ref(&self, slot: SlotId) -> SlotRef {
+        SlotRef {
+            node: self.node,
+            frame: self.frame,
+            slot,
+        }
+    }
+
+    /// `INIT_SYNC`: arm `slot` to fire `thread` after `count` signals,
+    /// then reset to `reset`.
+    pub fn init_sync(&mut self, slot: SlotId, count: i32, reset: i32, thread: ThreadId) {
+        let entry = self.rt.nodes[self.node.index()]
+            .frames
+            .get_mut(self.frame)
+            .expect("running frame must exist");
+        FrameStore::ensure_slot(entry, slot);
+        entry.slots[slot.0 as usize] = SyncSlot::init(count, reset, thread);
+    }
+
+    /// `INCR_SYNC`: raise the pending count of a local slot by `delta`
+    /// (a parent registering more children before they report).
+    pub fn incr_sync(&mut self, slot: SlotId, delta: i32) {
+        let entry = self.rt.nodes[self.node.index()]
+            .frames
+            .get_mut(self.frame)
+            .expect("running frame must exist");
+        FrameStore::ensure_slot(entry, slot);
+        entry.slots[slot.0 as usize].add(delta);
+    }
+
+    /// Make `thread` of this frame ready unconditionally (a direct spawn,
+    /// Threaded-C's `SPAWN`).
+    pub fn spawn(&mut self, thread: ThreadId) {
+        let frame = self.frame;
+        self.rt.nodes[self.node.index()]
+            .ready
+            .push_back((frame, thread));
+    }
+
+    /// `RSYNC` / remote `SYNC`: send one completion signal to a slot that
+    /// may live on any node.
+    pub fn sync(&mut self, slot: SlotRef) {
+        let costs = self.rt.config().earth;
+        if slot.node == self.node {
+            self.rt.signal_local(self.node, slot);
+        } else {
+            self.elapsed += costs.op_send
+                + self.rt.comm_sender_overhead(OpClass::Async, MSG_HEADER);
+            let at = self.now();
+            self.rt.transmit(at, self.node, slot.node, Msg::SyncSig { slot });
+        }
+    }
+
+    /// Terminate this frame (`END_FUNCTION`): after the current thread
+    /// returns, the frame is deallocated. Any signal still addressed to it
+    /// is an application bug and will be counted as dropped.
+    pub fn end(&mut self) {
+        self.ended = true;
+    }
+
+    // ---- local memory ------------------------------------------------------
+
+    /// Allocate `len` bytes of this node's local memory.
+    pub fn alloc(&mut self, len: u32) -> GlobalAddr {
+        GlobalAddr::new(self.node, self.rt.nodes[self.node.index()].mem.alloc(len))
+    }
+
+    /// Read this node's local memory (an ordinary load; not charged).
+    pub fn read_local(&self, offset: u32, len: u32) -> Vec<u8> {
+        self.rt.nodes[self.node.index()].mem.read(offset, len).to_vec()
+    }
+
+    /// Write this node's local memory (an ordinary store; not charged).
+    pub fn write_local(&mut self, offset: u32, bytes: &[u8]) {
+        self.rt.nodes[self.node.index()].mem.write(offset, bytes);
+    }
+
+    // ---- split-phase transactions -------------------------------------------
+
+    /// `GET_SYNC` / `BLKMOV` pull: fetch `len` bytes at `src` into this
+    /// node's memory at `dst_off`, then signal local `slot`.
+    pub fn get_sync(&mut self, src: GlobalAddr, dst_off: u32, len: u32, slot: SlotId) {
+        let costs = self.rt.config().earth;
+        let done = self.slot_ref(slot);
+        self.elapsed +=
+            costs.op_send + self.rt.comm_sender_overhead(OpClass::Sync, MSG_HEADER + len);
+        if src.node == self.node {
+            // Degenerate local fetch: memcpy + immediate signal.
+            let data = self.rt.nodes[self.node.index()]
+                .mem
+                .read(src.offset, len)
+                .to_vec();
+            self.rt.nodes[self.node.index()].mem.write(dst_off, &data);
+            self.rt.signal_local(self.node, done);
+        } else {
+            let at = self.now();
+            self.rt.transmit(
+                at,
+                self.node,
+                src.node,
+                Msg::GetReq {
+                    src_off: src.offset,
+                    len,
+                    reply_to: self.node,
+                    reply_off: dst_off,
+                    done,
+                },
+            );
+        }
+    }
+
+    /// `DATA_SYNC` / `BLKMOV` push: store `data` at `dst`, then signal
+    /// `done` (which may live on any node, including this one).
+    pub fn data_sync(&mut self, data: &[u8], dst: GlobalAddr, done: Option<SlotRef>) {
+        let costs = self.rt.config().earth;
+        let len = data.len() as u32;
+        self.elapsed +=
+            costs.op_send + self.rt.comm_sender_overhead(OpClass::Async, MSG_HEADER + len);
+        if dst.node == self.node {
+            self.rt.nodes[self.node.index()].mem.write(dst.offset, data);
+            if let Some(done) = done {
+                let at = self.now();
+                self.rt.route_signal(at, self.node, done);
+            }
+        } else {
+            let at = self.now();
+            self.rt.transmit(
+                at,
+                self.node,
+                dst.node,
+                Msg::Put {
+                    dst_off: dst.offset,
+                    data: data.to_vec().into_boxed_slice(),
+                    done,
+                },
+            );
+        }
+    }
+
+    /// `DATA_SYNC_D`: store one f64.
+    pub fn data_sync_f64(&mut self, v: f64, dst: GlobalAddr, done: Option<SlotRef>) {
+        self.data_sync(&v.to_le_bytes(), dst, done);
+    }
+
+    /// `DATA_SYNC_I`: store one u32.
+    pub fn data_sync_u32(&mut self, v: u32, dst: GlobalAddr, done: Option<SlotRef>) {
+        self.data_sync(&v.to_le_bytes(), dst, done);
+    }
+
+    /// `BLKMOV` push of a region of this node's own memory.
+    pub fn blkmov(&mut self, src_off: u32, len: u32, dst: GlobalAddr, done: Option<SlotRef>) {
+        let data = self.rt.nodes[self.node.index()]
+            .mem
+            .read(src_off, len)
+            .to_vec();
+        self.data_sync(&data, dst, done);
+    }
+
+    // ---- invocation ------------------------------------------------------------
+
+    /// `INVOKE`: instantiate `func` on an explicit `node`.
+    pub fn invoke(&mut self, node: NodeId, func: FuncId, args: Box<[u8]>) {
+        let costs = self.rt.config().earth;
+        let len = MSG_HEADER + args.len() as u32;
+        self.elapsed += costs.op_send + self.rt.comm_sender_overhead(OpClass::Async, len);
+        if node == self.node {
+            self.elapsed += costs.frame_setup;
+            let frame = self.rt.instantiate(node, func, &args);
+            self.rt.nodes[node.index()].ready.push_back((frame, ThreadId(0)));
+        } else {
+            let at = self.now();
+            self.rt.transmit(at, self.node, node, Msg::Invoke { func, args });
+        }
+    }
+
+    /// `TOKEN`: enqueue `func` as a stealable token, subject to the
+    /// dynamic load balancer.
+    pub fn token(&mut self, func: FuncId, args: Box<[u8]>) {
+        let costs = self.rt.config().earth;
+        self.elapsed += costs.token_op;
+        self.rt.nodes[self.node.index()]
+            .tokens
+            .push_back(crate::node::Token { func, args });
+        self.rt.global_tokens += 1;
+        let at = self.now();
+        self.rt.poke_idle(at);
+    }
+
+    // ---- application state ------------------------------------------------------
+
+    /// Borrow this node's application state.
+    pub fn user<T: 'static>(&self) -> &T {
+        self.rt.state(self.node)
+    }
+
+    /// Mutably borrow this node's application state.
+    pub fn user_mut<T: 'static>(&mut self) -> &mut T {
+        self.rt.state_mut(self.node)
+    }
+}

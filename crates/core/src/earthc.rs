@@ -1,0 +1,409 @@
+//! The EARTH-C programming model: hierarchical tree parallelism.
+//!
+//! §2 of the paper: *"EARTH-C ... hides remote data accesses and thread
+//! handling, i.e. it translates programs written at an abstract level
+//! (tree-like parallelism with communication being hierarchical between
+//! parent and children but not taking place between siblings) into
+//! multithreaded code. It is thus more convenient to use, but it
+//! currently supports only one specific programming model, whereas
+//! Threaded-C offers considerable flexibility."*
+//!
+//! This module is that translation, done by a library instead of the
+//! McCAT compiler: a [`TreeTask`] describes one node of a dynamic task
+//! tree — expand into children or produce a leaf result, then combine the
+//! children's results — and [`run_tree`] lowers it onto raw EARTH
+//! machinery: frames, sync slots, `TOKEN`s (so the children land under
+//! the dynamic load balancer) and remote result delivery. Data flows
+//! only parent↔child, exactly the model's restriction.
+//!
+//! ```
+//! use earth_rt::earthc::{run_tree, Expansion, TreeTask};
+//! use earth_rt::{ArgsReader, ArgsWriter, Ctx};
+//! use earth_machine::MachineConfig;
+//! use earth_sim::VirtualDuration;
+//!
+//! /// Sum the range [lo, hi) by recursive halving.
+//! struct Sum { lo: u64, hi: u64 }
+//!
+//! impl TreeTask for Sum {
+//!     type Output = u64;
+//!     fn expand(&mut self, ctx: &mut Ctx<'_>) -> Expansion<Self> {
+//!         ctx.compute(VirtualDuration::from_us(20));
+//!         if self.hi - self.lo <= 4 {
+//!             Expansion::Leaf((self.lo..self.hi).sum())
+//!         } else {
+//!             let mid = (self.lo + self.hi) / 2;
+//!             Expansion::Children(vec![
+//!                 Sum { lo: self.lo, hi: mid },
+//!                 Sum { lo: mid, hi: self.hi },
+//!             ])
+//!         }
+//!     }
+//!     fn combine(&mut self, _ctx: &mut Ctx<'_>, results: Vec<u64>) -> u64 {
+//!         results.into_iter().sum()
+//!     }
+//!     fn encode(&self, w: &mut ArgsWriter) { w.u64(self.lo).u64(self.hi); }
+//!     fn decode(r: &mut ArgsReader<'_>) -> Self {
+//!         Sum { lo: r.u64(), hi: r.u64() }
+//!     }
+//!     fn encode_output(out: &u64, w: &mut ArgsWriter) { w.u64(*out); }
+//!     fn decode_output(r: &mut ArgsReader<'_>) -> u64 { r.u64() }
+//! }
+//!
+//! let (total, report) = run_tree(Sum { lo: 0, hi: 1000 }, MachineConfig::manna(4), 7);
+//! assert_eq!(total, 499_500);
+//! assert!(report.is_clean());
+//! ```
+
+use crate::addr::{SlotId, SlotRef, ThreadId};
+use crate::args::{ArgsReader, ArgsWriter};
+use crate::ctx::Ctx;
+use crate::frame::ThreadedFn;
+use crate::msg::FuncId;
+use crate::report::RunReport;
+use crate::runtime::Runtime;
+use earth_machine::{MachineConfig, NodeId};
+use std::cell::RefCell;
+
+/// One node of the task tree. Implementations must be encodable as bytes
+/// (tasks migrate between machine nodes as token arguments).
+pub trait TreeTask: Sized + 'static {
+    /// The result type flowing up the tree.
+    type Output: 'static;
+
+    /// Do this task's own work (charging virtual time). Return children
+    /// to expand in parallel, or a leaf result.
+    fn expand(&mut self, ctx: &mut Ctx<'_>) -> Expansion<Self>;
+
+    /// Fold children's results (runs on this task's node, child order).
+    fn combine(&mut self, ctx: &mut Ctx<'_>, results: Vec<Self::Output>) -> Self::Output;
+
+    /// Serialize the task for migration.
+    fn encode(&self, w: &mut ArgsWriter);
+
+    /// Deserialize after migration.
+    fn decode(r: &mut ArgsReader<'_>) -> Self;
+
+    /// Serialize a result for the trip to the parent.
+    fn encode_output(out: &Self::Output, w: &mut ArgsWriter);
+
+    /// Deserialize a result on the parent's node.
+    fn decode_output(r: &mut ArgsReader<'_>) -> Self::Output;
+}
+
+/// What [`TreeTask::expand`] may produce.
+pub enum Expansion<T: TreeTask> {
+    /// A leaf: this value flows to the parent.
+    Leaf(T::Output),
+    /// Fork: expand these tasks in parallel, then combine.
+    Children(Vec<T>),
+}
+
+/// Per-node state: in-flight child results keyed by
+/// `(parent frame index, generation, child index)`, plus the root result.
+struct TreeState<O> {
+    mail: Vec<((u32, u32, u32), O)>,
+    root: Option<O>,
+}
+
+fn mailbox_key(slot: &SlotRef, index: u32) -> (u32, u32, u32) {
+    (slot.frame.index, slot.frame.gen, index)
+}
+
+const SLOT_JOIN: SlotId = SlotId(0);
+const T_COMBINE: ThreadId = ThreadId(1);
+
+/// The frame lowering one `TreeTask`.
+struct TreeFrame<T: TreeTask> {
+    task: T,
+    reply: SlotRef,
+    parent_node: NodeId,
+    index: u32,
+    me: FuncId,
+    deliver_fn: FuncId,
+    pending: Vec<Option<T::Output>>,
+}
+
+impl<T: TreeTask> TreeFrame<T> {
+    fn decode_frame(r: &mut ArgsReader<'_>) -> Self {
+        let reply = r.slot();
+        let parent_node = r.node();
+        let index = r.u32();
+        let me = FuncId(r.u32());
+        let deliver_fn = FuncId(r.u32());
+        TreeFrame {
+            task: T::decode(r),
+            reply,
+            parent_node,
+            index,
+            me,
+            deliver_fn,
+            pending: Vec::new(),
+        }
+    }
+
+    fn send_up(&self, ctx: &mut Ctx<'_>, out: T::Output) {
+        if self.parent_node == ctx.node() {
+            let key = mailbox_key(&self.reply, self.index);
+            ctx.user_mut::<TreeState<T::Output>>().mail.push((key, out));
+            ctx.sync(self.reply);
+        } else {
+            let mut args = ArgsWriter::new();
+            args.slot(self.reply).u32(self.index);
+            T::encode_output(&out, &mut args);
+            ctx.invoke(self.parent_node, self.deliver_fn, args.finish());
+        }
+    }
+}
+
+impl<T: TreeTask> ThreadedFn for TreeFrame<T> {
+    fn run(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId) {
+        match tid {
+            ThreadId(0) => match self.task.expand(ctx) {
+                Expansion::Leaf(out) => {
+                    self.send_up(ctx, out);
+                    ctx.end();
+                }
+                Expansion::Children(children) => {
+                    assert!(!children.is_empty(), "fork with no children");
+                    self.pending = children.iter().map(|_| None).collect();
+                    ctx.init_sync(SLOT_JOIN, children.len() as i32, 0, T_COMBINE);
+                    for (i, child) in children.into_iter().enumerate() {
+                        let mut args = ArgsWriter::new();
+                        args.slot(ctx.slot_ref(SLOT_JOIN))
+                            .node(ctx.node())
+                            .u32(i as u32)
+                            .u32(self.me.0)
+                            .u32(self.deliver_fn.0);
+                        child.encode(&mut args);
+                        ctx.token(self.me, args.finish());
+                    }
+                }
+            },
+            T_COMBINE => {
+                // Pull our children's results out of the node mailbox.
+                let my = ctx.slot_ref(SLOT_JOIN);
+                let frame_key = (my.frame.index, my.frame.gen);
+                {
+                    let st = ctx.user_mut::<TreeState<T::Output>>();
+                    let mut keep = Vec::new();
+                    for (key, out) in st.mail.drain(..) {
+                        if (key.0, key.1) == frame_key {
+                            self.pending[key.2 as usize] = Some(out);
+                        } else {
+                            keep.push((key, out));
+                        }
+                    }
+                    st.mail = keep;
+                }
+                let results: Vec<T::Output> = self
+                    .pending
+                    .drain(..)
+                    .map(|o| o.expect("all children reported"))
+                    .collect();
+                let combined = self.task.combine(ctx, results);
+                self.send_up(ctx, combined);
+                ctx.end();
+            }
+            other => unreachable!("tree frame has no thread {other:?}"),
+        }
+    }
+}
+
+/// Remote result delivery: unpack into the parent node's mailbox and
+/// signal the join slot.
+struct Deliver<T: TreeTask> {
+    output: Option<T::Output>,
+    index: u32,
+    target: SlotRef,
+}
+
+impl<T: TreeTask> ThreadedFn for Deliver<T> {
+    fn run(&mut self, ctx: &mut Ctx<'_>, _tid: ThreadId) {
+        let key = mailbox_key(&self.target, self.index);
+        let output = self.output.take().expect("delivered once");
+        ctx.user_mut::<TreeState<T::Output>>().mail.push((key, output));
+        ctx.sync(self.target);
+        ctx.end();
+    }
+}
+
+/// Root harvest frame.
+struct Root<T: TreeTask> {
+    tree_fn: FuncId,
+    deliver_fn: FuncId,
+    task: Option<T>,
+}
+
+impl<T: TreeTask> ThreadedFn for Root<T> {
+    fn run(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId) {
+        match tid {
+            ThreadId(0) => {
+                ctx.init_sync(SLOT_JOIN, 1, 0, ThreadId(1));
+                let mut args = ArgsWriter::new();
+                args.slot(ctx.slot_ref(SLOT_JOIN))
+                    .node(ctx.node())
+                    .u32(0)
+                    .u32(self.tree_fn.0)
+                    .u32(self.deliver_fn.0);
+                self.task.take().expect("root task").encode(&mut args);
+                ctx.token(self.tree_fn, args.finish());
+            }
+            ThreadId(1) => {
+                let my = ctx.slot_ref(SLOT_JOIN);
+                let frame_key = (my.frame.index, my.frame.gen);
+                let st = ctx.user_mut::<TreeState<T::Output>>();
+                let pos = st
+                    .mail
+                    .iter()
+                    .position(|(k, _)| (k.0, k.1) == frame_key)
+                    .expect("root result arrived");
+                let (_, out) = st.mail.swap_remove(pos);
+                st.root = Some(out);
+                ctx.mark("tree-root-done");
+                ctx.end();
+            }
+            other => unreachable!("root has no thread {other:?}"),
+        }
+    }
+}
+
+/// Run a task tree on a fresh machine; returns the root result and the
+/// run report.
+pub fn run_tree<T>(task: T, cfg: MachineConfig, seed: u64) -> (T::Output, RunReport)
+where
+    T: TreeTask,
+{
+    let mut rt = Runtime::new(cfg, seed);
+    run_tree_on(&mut rt, task)
+}
+
+/// Like [`run_tree`] on a caller-prepared runtime. Installs the tree
+/// machinery's node state on every node (do not set your own).
+pub fn run_tree_on<T>(rt: &mut Runtime, task: T) -> (T::Output, RunReport)
+where
+    T: TreeTask,
+{
+    for node in 0..rt.num_nodes() {
+        rt.set_state(
+            NodeId(node),
+            TreeState::<T::Output> {
+                mail: Vec::new(),
+                root: None,
+            },
+        );
+    }
+    let tree_fn = rt.register("earthc-tree", |r| {
+        Box::new(TreeFrame::<T>::decode_frame(r)) as Box<dyn ThreadedFn>
+    });
+    let deliver_fn = rt.register("earthc-deliver", |r| {
+        let target = r.slot();
+        let index = r.u32();
+        let output = T::decode_output(r);
+        Box::new(Deliver::<T> {
+            output: Some(output),
+            index,
+            target,
+        }) as Box<dyn ThreadedFn>
+    });
+    let root_fn = rt.register("earthc-root", {
+        let cell = RefCell::new(Some((task, tree_fn, deliver_fn)));
+        move |_| {
+            let (task, tree_fn, deliver_fn) =
+                cell.borrow_mut().take().expect("root constructed once");
+            Box::new(Root::<T> {
+                tree_fn,
+                deliver_fn,
+                task: Some(task),
+            }) as Box<dyn ThreadedFn>
+        }
+    });
+    rt.inject_invoke(NodeId(0), root_fn, ArgsWriter::new().finish());
+    let report = rt.run();
+    assert!(
+        report.mark("tree-root-done").is_some(),
+        "tree run incomplete"
+    );
+    let out = rt
+        .state_mut::<TreeState<T::Output>>(NodeId(0))
+        .root
+        .take()
+        .expect("root result present");
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earth_sim::VirtualDuration;
+
+    /// Recursive Fibonacci — the canonical tree-parallel toy.
+    struct Fib {
+        n: u32,
+    }
+
+    impl TreeTask for Fib {
+        type Output = u64;
+        fn expand(&mut self, ctx: &mut Ctx<'_>) -> Expansion<Self> {
+            ctx.compute(VirtualDuration::from_us(30));
+            if self.n < 2 {
+                Expansion::Leaf(self.n as u64)
+            } else {
+                Expansion::Children(vec![Fib { n: self.n - 1 }, Fib { n: self.n - 2 }])
+            }
+        }
+        fn combine(&mut self, ctx: &mut Ctx<'_>, results: Vec<u64>) -> u64 {
+            ctx.compute(VirtualDuration::from_us(5));
+            results.into_iter().sum()
+        }
+        fn encode(&self, w: &mut ArgsWriter) {
+            w.u32(self.n);
+        }
+        fn decode(r: &mut ArgsReader<'_>) -> Self {
+            Fib { n: r.u32() }
+        }
+        fn encode_output(out: &u64, w: &mut ArgsWriter) {
+            w.u64(*out);
+        }
+        fn decode_output(r: &mut ArgsReader<'_>) -> u64 {
+            r.u64()
+        }
+    }
+
+    #[test]
+    fn fib_tree_is_correct_on_any_machine_size() {
+        for nodes in [1u16, 3, 8] {
+            let (out, report) = run_tree(Fib { n: 12 }, MachineConfig::manna(nodes), 5);
+            assert_eq!(out, 144, "{nodes} nodes");
+            assert!(report.is_clean());
+        }
+    }
+
+    #[test]
+    fn tree_spreads_over_the_machine() {
+        let (_, report) = run_tree(Fib { n: 14 }, MachineConfig::manna(6), 9);
+        let active = report.nodes.iter().filter(|n| n.tokens_run > 0).count();
+        assert!(active >= 5, "load balancer engaged {active} nodes");
+    }
+
+    #[test]
+    fn tree_speedup_scales() {
+        let time = |nodes| {
+            let (_, r) = run_tree(Fib { n: 15 }, MachineConfig::manna(nodes), 3);
+            r.elapsed
+        };
+        let t1 = time(1);
+        let t8 = time(8);
+        let speedup = t1.as_us_f64() / t8.as_us_f64();
+        assert!(speedup > 3.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let (out, r) = run_tree(Fib { n: 10 }, MachineConfig::manna(4), seed);
+            (out, r.elapsed, r.events)
+        };
+        assert_eq!(run(1), run(1));
+    }
+}

@@ -1,0 +1,217 @@
+//! Frames, threaded functions, and sync slots.
+//!
+//! A *threaded function* is a function body subdivided into named threads;
+//! an invocation instantiates a *frame* holding its state (locals,
+//! continuation data) and a table of *sync slots*. Threads never block:
+//! they issue split-phase operations and terminate; a sync slot fires a
+//! successor thread when the operations it counts have all completed.
+
+use crate::addr::{FrameId, SlotId, ThreadId};
+use crate::ctx::Ctx;
+
+/// A threaded function body. `run` is invoked once per fired thread and
+/// must not block: it performs local computation (charging virtual time
+/// through [`Ctx::compute`]), issues EARTH operations, and returns.
+///
+/// The implementing struct *is* the frame's local state, so Threaded-C's
+/// frame variables become ordinary struct fields.
+pub trait ThreadedFn {
+    /// Execute thread `tid` of this frame.
+    fn run(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId);
+}
+
+/// A dataflow synchronization counter (`INIT_SYNC` semantics): when
+/// `count` signals have arrived, thread `thread` becomes ready and the
+/// counter resets to `reset`.
+#[derive(Clone, Copy, Debug)]
+pub struct SyncSlot {
+    count: i32,
+    reset: i32,
+    thread: ThreadId,
+    armed: bool,
+}
+
+impl SyncSlot {
+    const UNARMED: SyncSlot = SyncSlot {
+        count: 0,
+        reset: 0,
+        thread: ThreadId(0),
+        armed: false,
+    };
+
+    /// Initialize with a trigger count, a reset value, and the thread to
+    /// fire.
+    pub fn init(count: i32, reset: i32, thread: ThreadId) -> Self {
+        assert!(count > 0, "sync slot needs a positive count");
+        SyncSlot {
+            count,
+            reset,
+            thread,
+            armed: true,
+        }
+    }
+
+    /// Apply one decrement; returns the thread to fire if the counter hit
+    /// zero.
+    pub fn signal(&mut self) -> Option<ThreadId> {
+        assert!(self.armed, "signal on uninitialized sync slot");
+        self.count -= 1;
+        if self.count == 0 {
+            self.count = self.reset;
+            if self.count == 0 {
+                self.armed = false;
+            }
+            Some(self.thread)
+        } else {
+            None
+        }
+    }
+
+    /// Add `delta` to the pending count (e.g. a parent registering more
+    /// children); does not fire.
+    pub fn add(&mut self, delta: i32) {
+        assert!(self.armed, "add on uninitialized sync slot");
+        self.count += delta;
+        assert!(self.count > 0, "sync slot count went non-positive via add");
+    }
+
+    /// Current pending count (visible for tests / debugging).
+    pub fn pending(&self) -> i32 {
+        self.count
+    }
+}
+
+/// One live frame: the function state plus its slot table. The function
+/// box is `None` while the frame's code is executing (it has been checked
+/// out by the scheduler).
+pub(crate) struct FrameEntry {
+    pub(crate) func: Option<Box<dyn ThreadedFn>>,
+    pub(crate) slots: Vec<SyncSlot>,
+    pub(crate) gen: u32,
+}
+
+/// Per-node frame store: a slab with generation-checked handles.
+#[derive(Default)]
+pub(crate) struct FrameStore {
+    entries: Vec<Option<FrameEntry>>,
+    free: Vec<u32>,
+    pub(crate) live: usize,
+    next_gen: u32,
+}
+
+impl FrameStore {
+    pub(crate) fn insert(&mut self, func: Box<dyn ThreadedFn>) -> FrameId {
+        self.next_gen += 1;
+        let gen = self.next_gen;
+        self.live += 1;
+        let entry = FrameEntry {
+            func: Some(func),
+            slots: Vec::new(),
+            gen,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.entries[idx as usize] = Some(entry);
+            FrameId { index: idx, gen }
+        } else {
+            self.entries.push(Some(entry));
+            FrameId {
+                index: (self.entries.len() - 1) as u32,
+                gen,
+            }
+        }
+    }
+
+    pub(crate) fn get_mut(&mut self, id: FrameId) -> Option<&mut FrameEntry> {
+        match self.entries.get_mut(id.index as usize) {
+            Some(Some(e)) if e.gen == id.gen => Some(e),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn remove(&mut self, id: FrameId) {
+        if let Some(slot) = self.entries.get_mut(id.index as usize) {
+            if slot.as_ref().is_some_and(|e| e.gen == id.gen) {
+                *slot = None;
+                self.free.push(id.index);
+                self.live -= 1;
+            }
+        }
+    }
+
+    /// Ensure the slot table covers `slot`, extending with unarmed slots.
+    pub(crate) fn ensure_slot(entry: &mut FrameEntry, slot: SlotId) {
+        let need = slot.0 as usize + 1;
+        if entry.slots.len() < need {
+            entry.slots.resize(need, SyncSlot::UNARMED);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_fires_at_zero_and_resets() {
+        let mut s = SyncSlot::init(2, 2, ThreadId(4));
+        assert_eq!(s.signal(), None);
+        assert_eq!(s.signal(), Some(ThreadId(4)));
+        // reset back to 2
+        assert_eq!(s.pending(), 2);
+        assert_eq!(s.signal(), None);
+        assert_eq!(s.signal(), Some(ThreadId(4)));
+    }
+
+    #[test]
+    fn one_shot_slot_disarms() {
+        let mut s = SyncSlot::init(1, 0, ThreadId(1));
+        assert_eq!(s.signal(), Some(ThreadId(1)));
+        // now unarmed: signaling again would be a program error
+    }
+
+    #[test]
+    #[should_panic(expected = "uninitialized")]
+    fn signal_unarmed_panics() {
+        let mut s = SyncSlot::UNARMED;
+        let _ = s.signal();
+    }
+
+    #[test]
+    fn add_raises_count() {
+        let mut s = SyncSlot::init(1, 0, ThreadId(2));
+        s.add(2);
+        assert_eq!(s.signal(), None);
+        assert_eq!(s.signal(), None);
+        assert_eq!(s.signal(), Some(ThreadId(2)));
+    }
+
+    struct Nop;
+    impl ThreadedFn for Nop {
+        fn run(&mut self, _ctx: &mut Ctx<'_>, _tid: ThreadId) {}
+    }
+
+    #[test]
+    fn frame_store_generation_safety() {
+        let mut fs = FrameStore::default();
+        let a = fs.insert(Box::new(Nop));
+        assert!(fs.get_mut(a).is_some());
+        fs.remove(a);
+        assert!(fs.get_mut(a).is_none(), "stale handle must not resolve");
+        let b = fs.insert(Box::new(Nop));
+        // slot reused but generation differs
+        assert_eq!(b.index, a.index);
+        assert_ne!(b.gen, a.gen);
+        assert!(fs.get_mut(a).is_none());
+        assert!(fs.get_mut(b).is_some());
+        assert_eq!(fs.live, 1);
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let mut fs = FrameStore::default();
+        let a = fs.insert(Box::new(Nop));
+        fs.remove(a);
+        fs.remove(a); // second remove of a stale id is a no-op
+        assert_eq!(fs.live, 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Inter-node messages implementing EARTH's operations.
+//!
+//! Every split-phase operation turns into one or two of these messages.
+//! `wire_size` is what the network model charges for: a small fixed header
+//! per message plus the payload — EARTH messages are genuinely small,
+//! which is the property the whole paper is about.
+
+use crate::addr::SlotRef;
+use earth_machine::{NodeId, OpClass};
+
+/// Registered threaded-function identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FuncId(pub u32);
+
+/// Fixed per-message header bytes (routing, opcode, sync-slot address).
+pub const MSG_HEADER: u32 = 16;
+
+/// The wire messages of the runtime.
+pub(crate) enum Msg {
+    /// Split-phase remote read: fetch `len` bytes at `src_off` on the
+    /// receiving node and deliver them to `reply_off` on `reply_to`,
+    /// then signal `done`.
+    GetReq {
+        src_off: u32,
+        len: u32,
+        reply_to: NodeId,
+        reply_off: u32,
+        done: SlotRef,
+    },
+    /// Data coming back for a `GetReq`.
+    GetReply {
+        dst_off: u32,
+        data: Box<[u8]>,
+        done: SlotRef,
+    },
+    /// Split-phase remote write (`DATA_SYNC` / block-move push): store
+    /// `data` at `dst_off`, then signal `done` (which may live on any
+    /// node).
+    Put {
+        dst_off: u32,
+        data: Box<[u8]>,
+        done: Option<SlotRef>,
+    },
+    /// Pure synchronization signal (`RSYNC` / remote `SYNC`): decrement
+    /// the slot.
+    SyncSig { slot: SlotRef },
+    /// Remote invocation of a threaded function on the receiving node.
+    Invoke { func: FuncId, args: Box<[u8]> },
+    /// A load-balancer token migrating to the receiving node.
+    Token { func: FuncId, args: Box<[u8]> },
+    /// Receiver-initiated work stealing: `thief` asks for a token.
+    StealReq { thief: NodeId },
+    /// The victim had nothing to give.
+    StealNack,
+}
+
+impl Msg {
+    /// Bytes this message occupies on the wire.
+    pub(crate) fn wire_size(&self) -> u32 {
+        match self {
+            Msg::GetReq { .. } => MSG_HEADER + 12,
+            Msg::GetReply { data, .. } => MSG_HEADER + data.len() as u32,
+            Msg::Put { data, .. } => MSG_HEADER + data.len() as u32,
+            Msg::SyncSig { .. } => MSG_HEADER,
+            Msg::Invoke { args, .. } | Msg::Token { args, .. } => MSG_HEADER + args.len() as u32,
+            Msg::StealReq { .. } | Msg::StealNack => MSG_HEADER,
+        }
+    }
+
+    /// Operation class for the message-passing cost model. Replies and the
+    /// internal steal protocol carry no model overhead of their own (the
+    /// round trip was charged at the request).
+    pub(crate) fn op_class(&self) -> Option<OpClass> {
+        match self {
+            Msg::GetReq { .. } => Some(OpClass::Sync),
+            Msg::Put { .. } | Msg::SyncSig { .. } | Msg::Invoke { .. } | Msg::Token { .. } => {
+                Some(OpClass::Async)
+            }
+            Msg::GetReply { .. } | Msg::StealReq { .. } | Msg::StealNack => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{FrameId, SlotId};
+
+    fn slot() -> SlotRef {
+        SlotRef {
+            node: NodeId(0),
+            frame: FrameId { index: 0, gen: 1 },
+            slot: SlotId(0),
+        }
+    }
+
+    #[test]
+    fn wire_sizes_track_payload() {
+        let put = Msg::Put {
+            dst_off: 0,
+            data: vec![0u8; 28].into_boxed_slice(),
+            done: Some(slot()),
+        };
+        assert_eq!(put.wire_size(), MSG_HEADER + 28);
+        let sig = Msg::SyncSig { slot: slot() };
+        assert_eq!(sig.wire_size(), MSG_HEADER);
+        let get = Msg::GetReq {
+            src_off: 0,
+            len: 8,
+            reply_to: NodeId(1),
+            reply_off: 0,
+            done: slot(),
+        };
+        assert_eq!(get.wire_size(), MSG_HEADER + 12);
+    }
+
+    #[test]
+    fn op_classes() {
+        assert_eq!(
+            Msg::GetReq {
+                src_off: 0,
+                len: 0,
+                reply_to: NodeId(0),
+                reply_off: 0,
+                done: slot()
+            }
+            .op_class(),
+            Some(OpClass::Sync)
+        );
+        assert_eq!(Msg::SyncSig { slot: slot() }.op_class(), Some(OpClass::Async));
+        assert_eq!(Msg::StealNack.op_class(), None);
+    }
+}

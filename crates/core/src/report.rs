@@ -1,0 +1,161 @@
+//! Run reports: what a completed simulation tells the experimenter.
+
+use earth_sim::{VirtualDuration, VirtualTime};
+use std::fmt;
+
+/// Per-node activity counters.
+#[derive(Clone, Debug, Default)]
+pub struct NodeStats {
+    /// Total processor-occupied virtual time.
+    pub busy: VirtualDuration,
+    /// Threads executed.
+    pub threads: u64,
+    /// Frames instantiated on this node.
+    pub frames_created: u64,
+    /// Tokens this node executed (local pops plus stolen ones).
+    pub tokens_run: u64,
+    /// Tokens obtained by stealing.
+    pub steals_ok: u64,
+    /// Steal requests this node answered with a refusal.
+    pub steal_nacks: u64,
+    /// Messages serviced by the polling watchdog.
+    pub msgs_in: u64,
+    /// Time spent by the Synchronization Unit (dual-processor nodes
+    /// only; zero in the single-processor configuration).
+    pub su_time: VirtualDuration,
+    /// Messages injected into the network.
+    pub msgs_out: u64,
+    /// Signals addressed to frames that no longer existed (indicates an
+    /// application protocol bug; always 0 in a correct program).
+    pub dropped_signals: u64,
+}
+
+/// Result of running a simulation to quiescence.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Virtual time at which the last node finished its last activity —
+    /// the "parallel runtime" of the paper's speedup computations.
+    pub elapsed: VirtualDuration,
+    /// Discrete events processed.
+    pub events: u64,
+    /// Application-recorded `(label, instant)` marks.
+    pub marks: Vec<(String, VirtualTime)>,
+    /// Per-node counters.
+    pub nodes: Vec<NodeStats>,
+    /// Network messages carried.
+    pub net_messages: u64,
+    /// Network payload bytes carried.
+    pub net_bytes: u64,
+    /// Messages that queued on a busy sender link.
+    pub link_waits: u64,
+    /// Tokens never executed (0 after a clean run).
+    pub leftover_tokens: u64,
+    /// Frames still live at quiescence (0 after a clean run).
+    pub live_frames: u64,
+}
+
+impl RunReport {
+    /// Virtual instant recorded under `label`, if the application marked it.
+    pub fn mark(&self, label: &str) -> Option<VirtualTime> {
+        self.marks
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, t)| t)
+    }
+
+    /// Total threads executed across all nodes.
+    pub fn total_threads(&self) -> u64 {
+        self.nodes.iter().map(|n| n.threads).sum()
+    }
+
+    /// Total busy time across all nodes (the "work" of the run).
+    pub fn total_busy(&self) -> VirtualDuration {
+        self.nodes.iter().map(|n| n.busy).sum()
+    }
+
+    /// Processor utilization: busy time over `nodes × elapsed`.
+    pub fn utilization(&self) -> f64 {
+        if self.elapsed.is_zero() || self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.total_busy().as_us_f64() / (self.elapsed.as_us_f64() * self.nodes.len() as f64)
+    }
+
+    /// True when the run left no dangling work or frames behind.
+    pub fn is_clean(&self) -> bool {
+        self.leftover_tokens == 0
+            && self.live_frames == 0
+            && self.nodes.iter().all(|n| n.dropped_signals == 0)
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "elapsed {}  events {}  msgs {} ({} B)  threads {}  util {:.1}%",
+            self.elapsed,
+            self.events,
+            self.net_messages,
+            self.net_bytes,
+            self.total_threads(),
+            self.utilization() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            elapsed: VirtualDuration::from_us(100),
+            events: 10,
+            marks: vec![("done".into(), VirtualTime::from_ns(5_000))],
+            nodes: vec![
+                NodeStats {
+                    busy: VirtualDuration::from_us(80),
+                    threads: 3,
+                    ..NodeStats::default()
+                },
+                NodeStats {
+                    busy: VirtualDuration::from_us(40),
+                    threads: 2,
+                    ..NodeStats::default()
+                },
+            ],
+            net_messages: 4,
+            net_bytes: 64,
+            link_waits: 0,
+            leftover_tokens: 0,
+            live_frames: 0,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report();
+        assert_eq!(r.total_threads(), 5);
+        assert_eq!(r.total_busy(), VirtualDuration::from_us(120));
+        assert!((r.utilization() - 0.6).abs() < 1e-9);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn mark_lookup() {
+        let r = report();
+        assert_eq!(r.mark("done"), Some(VirtualTime::from_ns(5_000)));
+        assert_eq!(r.mark("missing"), None);
+    }
+
+    #[test]
+    fn dirty_run_detected() {
+        let mut r = report();
+        r.leftover_tokens = 1;
+        assert!(!r.is_clean());
+        let mut r2 = report();
+        r2.nodes[0].dropped_signals = 2;
+        assert!(!r2.is_clean());
+    }
+}

@@ -1,0 +1,517 @@
+//! The event loop: node scheduling, message handling, and work stealing.
+//!
+//! The runtime advances a deterministic discrete-event simulation of all
+//! nodes. Each node alternates between (a) servicing the messages its
+//! polling watchdog found and (b) running one ready thread (or
+//! instantiating one token) to completion, charging the calibrated i860
+//! costs for every step. A node with no local work asks the dynamic load
+//! balancer for a token from a peer (receiver-initiated work stealing with
+//! exponential backoff), exactly the division of labor described in §2 of
+//! the paper.
+
+use crate::addr::{FrameId, GlobalAddr, SlotRef, ThreadId};
+use crate::args::ArgsReader;
+use crate::ctx::Ctx;
+use crate::frame::{FrameStore, ThreadedFn};
+use crate::msg::{FuncId, Msg};
+use crate::node::{Node, Token};
+use crate::report::RunReport;
+use crate::trace::{Activity, Trace};
+use earth_machine::{MachineConfig, Network, NodeId, OpClass};
+use earth_sim::{EventQueue, Rng, VirtualDuration, VirtualTime};
+
+/// Default per-node memory: MANNA's 32 MB.
+pub const NODE_MEMORY: usize = 32 << 20;
+
+/// Ceiling on processed events; exceeding it aborts the run (a runaway
+/// guard for protocol bugs, far above any legitimate experiment).
+pub const DEFAULT_MAX_EVENTS: u64 = 200_000_000;
+
+pub(crate) enum Event {
+    Deliver(NodeId, Msg),
+    Wake(NodeId),
+}
+
+type Ctor = Box<dyn Fn(&mut ArgsReader<'_>) -> Box<dyn ThreadedFn>>;
+
+/// The EARTH runtime over a simulated MANNA machine.
+pub struct Runtime {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) net: Network,
+    pub(crate) events: EventQueue<Event>,
+    funcs: Vec<(String, Ctor)>,
+    /// Tokens alive anywhere (queued or in flight); drives steal decisions.
+    pub(crate) global_tokens: u64,
+    pub(crate) marks: Vec<(String, VirtualTime)>,
+    last_activity: VirtualTime,
+    processed: u64,
+    max_events: u64,
+    /// Master switch for the dynamic load balancer.
+    pub(crate) stealing_enabled: bool,
+    /// Optional execution trace.
+    trace: Option<Trace>,
+}
+
+impl Runtime {
+    /// A runtime over `cfg` with all randomness derived from `seed`.
+    pub fn new(cfg: MachineConfig, seed: u64) -> Self {
+        let mut master = Rng::new(seed);
+        let nodes = (0..cfg.nodes)
+            .map(|i| Node::new(NODE_MEMORY, master.fork(i as u64)))
+            .collect();
+        let net_seed = master.next_u64();
+        Runtime {
+            nodes,
+            net: Network::new(cfg, net_seed),
+            events: EventQueue::new(),
+            funcs: Vec::new(),
+            global_tokens: 0,
+            marks: Vec::new(),
+            last_activity: VirtualTime::ZERO,
+            processed: 0,
+            max_events: DEFAULT_MAX_EVENTS,
+            stealing_enabled: true,
+            trace: None,
+        }
+    }
+
+    /// Start recording per-node activity spans (see [`crate::trace`]).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Trace::default());
+    }
+
+    /// Take the recorded trace (empty if tracing was never enabled).
+    pub fn take_trace(&mut self) -> Trace {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Machine configuration in force.
+    pub fn config(&self) -> &MachineConfig {
+        self.net.config()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u16 {
+        self.nodes.len() as u16
+    }
+
+    /// Disable the token load balancer (tokens then run only where they
+    /// were created) — used by the load-balancing ablation.
+    pub fn set_stealing(&mut self, enabled: bool) {
+        self.stealing_enabled = enabled;
+    }
+
+    /// Override the runaway-event guard.
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Register a threaded function; the constructor decodes the argument
+    /// bytes into a fresh frame.
+    pub fn register<F>(&mut self, name: &str, ctor: F) -> FuncId
+    where
+        F: Fn(&mut ArgsReader<'_>) -> Box<dyn ThreadedFn> + 'static,
+    {
+        self.funcs.push((name.to_string(), Box::new(ctor)));
+        FuncId(self.funcs.len() as u32 - 1)
+    }
+
+    /// Host-side setup: allocate `len` bytes on `node`.
+    pub fn alloc_on(&mut self, node: NodeId, len: u32) -> GlobalAddr {
+        GlobalAddr::new(node, self.nodes[node.index()].mem.alloc(len))
+    }
+
+    /// Host-side setup/inspection: write node memory directly (free).
+    pub fn write_mem(&mut self, addr: GlobalAddr, bytes: &[u8]) {
+        self.nodes[addr.node.index()].mem.write(addr.offset, bytes);
+    }
+
+    /// Host-side inspection: read node memory directly (free).
+    pub fn read_mem(&self, addr: GlobalAddr, len: u32) -> Vec<u8> {
+        self.nodes[addr.node.index()]
+            .mem
+            .read(addr.offset, len)
+            .to_vec()
+    }
+
+    /// Attach application state to a node (weight slices, caches, ...).
+    pub fn set_state<T: 'static>(&mut self, node: NodeId, state: T) {
+        self.nodes[node.index()].user = Some(Box::new(state));
+    }
+
+    /// Borrow a node's application state.
+    pub fn state<T: 'static>(&self, node: NodeId) -> &T {
+        self.nodes[node.index()]
+            .user
+            .as_ref()
+            .expect("node has no application state")
+            .downcast_ref()
+            .expect("node state has a different type")
+    }
+
+    /// Mutably borrow a node's application state.
+    pub fn state_mut<T: 'static>(&mut self, node: NodeId) -> &mut T {
+        self.nodes[node.index()]
+            .user
+            .as_mut()
+            .expect("node has no application state")
+            .downcast_mut()
+            .expect("node state has a different type")
+    }
+
+    /// Inject an invocation at t=0 (the program's `main`).
+    pub fn inject_invoke(&mut self, node: NodeId, func: FuncId, args: Box<[u8]>) {
+        self.events
+            .push(VirtualTime::ZERO, Event::Deliver(node, Msg::Invoke { func, args }));
+    }
+
+    /// Inject a token at t=0 on node 0; the load balancer spreads it.
+    pub fn inject_token(&mut self, func: FuncId, args: Box<[u8]>) {
+        self.inject_token_on(NodeId(0), func, args);
+    }
+
+    /// Inject a token at t=0 on a specific node.
+    pub fn inject_token_on(&mut self, node: NodeId, func: FuncId, args: Box<[u8]>) {
+        self.global_tokens += 1;
+        self.events
+            .push(VirtualTime::ZERO, Event::Deliver(node, Msg::Token { func, args }));
+    }
+
+    /// Run to quiescence and report.
+    pub fn run(&mut self) -> RunReport {
+        while let Some((t, ev)) = self.events.pop() {
+            self.processed += 1;
+            assert!(
+                self.processed <= self.max_events,
+                "runaway simulation: {} events processed",
+                self.processed
+            );
+            match ev {
+                Event::Deliver(node, msg) => self.deliver(t, node, msg),
+                Event::Wake(node) => self.wake(t, node),
+            }
+        }
+        self.report()
+    }
+
+    fn report(&self) -> RunReport {
+        let net = self.net.stats();
+        RunReport {
+            elapsed: self.last_activity.since(VirtualTime::ZERO),
+            events: self.processed,
+            marks: self.marks.clone(),
+            nodes: self.nodes.iter().map(|n| n.stats.clone()).collect(),
+            net_messages: net.messages,
+            net_bytes: net.bytes,
+            link_waits: net.link_waits,
+            leftover_tokens: self.global_tokens,
+            live_frames: self.nodes.iter().map(|n| n.frames.live as u64).sum(),
+        }
+    }
+
+    // ---- internal machinery -------------------------------------------
+
+    /// Transmit `msg` from `src`, scheduling its delivery.
+    pub(crate) fn transmit(&mut self, at: VirtualTime, src: NodeId, dst: NodeId, msg: Msg) {
+        let arrive = self.net.send(at, src, dst, msg.wire_size());
+        self.nodes[src.index()].stats.msgs_out += 1;
+        self.events.push(arrive, Event::Deliver(dst, msg));
+    }
+
+    fn deliver(&mut self, t: VirtualTime, node: NodeId, msg: Msg) {
+        let n = &mut self.nodes[node.index()];
+        n.pending.push_back(msg);
+        if !n.busy && !n.wake_pending {
+            n.wake_pending = true;
+            self.events.push(t, Event::Wake(node));
+        }
+    }
+
+    fn wake(&mut self, t: VirtualTime, node: NodeId) {
+        {
+            let n = &mut self.nodes[node.index()];
+            n.wake_pending = false;
+            n.busy = false;
+        }
+        self.schedule(t, node);
+    }
+
+    /// One scheduling round: poll, then run one thread / token, or steal.
+    fn schedule(&mut self, t: VirtualTime, node: NodeId) {
+        let costs = self.config().earth;
+        let mut elapsed = VirtualDuration::ZERO;
+
+        // Polling watchdog: service everything the NIC has. In the
+        // dual-processor configuration the Synchronization Unit does this
+        // concurrently, so the Execution Unit's clock does not advance.
+        let dual = self.config().dual_processor;
+        while let Some(msg) = self.nodes[node.index()].pending.pop_front() {
+            self.nodes[node.index()].stats.msgs_in += 1;
+            let cost = self.handle_msg(t + elapsed, node, msg);
+            if dual {
+                self.nodes[node.index()].stats.su_time += cost;
+            } else {
+                elapsed += cost;
+            }
+        }
+
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(node, t, t + elapsed, Activity::Poll);
+        }
+        let after_poll = elapsed;
+
+        let mut activity = Activity::Poll;
+        if let Some((frame, tid)) = self.nodes[node.index()].ready.pop_front() {
+            elapsed += costs.thread_switch;
+            elapsed += self.run_thread(t + elapsed, node, frame, tid);
+            activity = Activity::Thread;
+        } else if let Some(token) = self.nodes[node.index()].tokens.pop_back() {
+            self.global_tokens -= 1;
+            self.nodes[node.index()].stats.tokens_run += 1;
+            elapsed += costs.token_op + costs.frame_setup;
+            let frame = self.instantiate(node, token.func, &token.args);
+            elapsed += self.run_thread(t + elapsed, node, frame, ThreadId(0));
+            activity = Activity::TokenRun;
+        } else if self.should_steal(t, node) {
+            elapsed += self.try_steal(t, node);
+            activity = Activity::Steal;
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            if elapsed > after_poll {
+                tr.record(node, t + after_poll, t + elapsed, activity);
+            }
+        }
+
+        let n = &mut self.nodes[node.index()];
+        if !elapsed.is_zero() {
+            n.busy = true;
+            n.wake_pending = true;
+            n.stats.busy += elapsed;
+            let end = t + elapsed;
+            self.last_activity = self.last_activity.max_of(end);
+            self.events.push(end, Event::Wake(node));
+        }
+        // else: idle; a Deliver or a poke will wake us.
+    }
+
+    fn should_steal(&self, t: VirtualTime, node: NodeId) -> bool {
+        let n = &self.nodes[node.index()];
+        self.stealing_enabled
+            && self.nodes.len() > 1
+            && self.global_tokens > 0
+            && !n.stealing
+            && t >= n.steal_cooldown
+    }
+
+    /// Send a steal request to a peer believed to hold tokens. Returns the
+    /// CPU time spent.
+    fn try_steal(&mut self, t: VirtualTime, node: NodeId) -> VirtualDuration {
+        let victims: Vec<NodeId> = (0..self.nodes.len())
+            .filter(|&i| i != node.index() && !self.nodes[i].tokens.is_empty())
+            .map(|i| NodeId(i as u16))
+            .collect();
+        let Some(&victim) = self.nodes[node.index()].rng.choose(&victims) else {
+            // All tokens are in flight; a poke will arrive with them.
+            return VirtualDuration::ZERO;
+        };
+        let costs = self.config().earth;
+        let cost = costs.token_op + costs.op_send;
+        self.nodes[node.index()].stealing = true;
+        self.transmit(t + cost, node, victim, Msg::StealReq { thief: node });
+        cost
+    }
+
+    /// Wake every idle node so it can contend for freshly created tokens.
+    /// (On the real machine idle nodes poll continuously; the simulator
+    /// represents that standing poll as an explicit zero-cost wake.)
+    pub(crate) fn poke_idle(&mut self, at: VirtualTime) {
+        if !self.stealing_enabled || self.global_tokens == 0 {
+            return;
+        }
+        for i in 0..self.nodes.len() {
+            let n = &mut self.nodes[i];
+            if !n.busy && !n.wake_pending && !n.stealing && n.is_workless() {
+                n.wake_pending = true;
+                self.events.push(at, Event::Wake(NodeId(i as u16)));
+            }
+        }
+    }
+
+    pub(crate) fn instantiate(&mut self, node: NodeId, func: FuncId, args: &[u8]) -> FrameId {
+        let frame = {
+            let ctor = &self.funcs[func.0 as usize].1;
+            ctor(&mut ArgsReader::new(args))
+        };
+        self.nodes[node.index()].stats.frames_created += 1;
+        self.nodes[node.index()].frames.insert(frame)
+    }
+
+    /// Service one message; returns CPU time spent.
+    fn handle_msg(&mut self, at: VirtualTime, node: NodeId, msg: Msg) -> VirtualDuration {
+        let costs = self.config().earth;
+        let comm = self.config().comm;
+        let mut cost = costs.op_recv;
+        if let Some(class) = msg.op_class() {
+            cost += comm.receiver_overhead(class, msg.wire_size());
+        }
+        match msg {
+            Msg::GetReq {
+                src_off,
+                len,
+                reply_to,
+                reply_off,
+                done,
+            } => {
+                let data = self.nodes[node.index()]
+                    .mem
+                    .read(src_off, len)
+                    .to_vec()
+                    .into_boxed_slice();
+                cost += costs.op_send;
+                self.transmit(
+                    at + cost,
+                    node,
+                    reply_to,
+                    Msg::GetReply {
+                        dst_off: reply_off,
+                        data,
+                        done,
+                    },
+                );
+            }
+            Msg::GetReply {
+                dst_off,
+                data,
+                done,
+            } => {
+                self.nodes[node.index()].mem.write(dst_off, &data);
+                self.route_signal(at + cost, node, done);
+            }
+            Msg::Put {
+                dst_off,
+                data,
+                done,
+            } => {
+                self.nodes[node.index()].mem.write(dst_off, &data);
+                if let Some(done) = done {
+                    self.route_signal(at + cost, node, done);
+                }
+            }
+            Msg::SyncSig { slot } => {
+                debug_assert_eq!(slot.node, node, "SyncSig routed to wrong node");
+                self.signal_local(node, slot);
+            }
+            Msg::Invoke { func, args } => {
+                cost += costs.frame_setup;
+                let frame = self.instantiate(node, func, &args);
+                self.nodes[node.index()]
+                    .ready
+                    .push_back((frame, ThreadId(0)));
+            }
+            Msg::Token { func, args } => {
+                cost += costs.token_op;
+                let n = &mut self.nodes[node.index()];
+                n.tokens.push_back(Token { func, args });
+                if n.stealing {
+                    // This token answers our steal request.
+                    n.stealing = false;
+                    n.steal_fails = 0;
+                    n.stats.steals_ok += 1;
+                }
+                self.poke_idle(at + cost);
+            }
+            Msg::StealReq { thief } => {
+                cost += costs.op_send;
+                if let Some(token) = self.nodes[node.index()].tokens.pop_front() {
+                    cost += costs.token_op;
+                    self.transmit(
+                        at + cost,
+                        node,
+                        thief,
+                        Msg::Token {
+                            func: token.func,
+                            args: token.args,
+                        },
+                    );
+                } else {
+                    self.nodes[node.index()].stats.steal_nacks += 1;
+                    self.transmit(at + cost, node, thief, Msg::StealNack);
+                }
+            }
+            Msg::StealNack => {
+                let n = &mut self.nodes[node.index()];
+                n.stealing = false;
+                n.steal_fails = (n.steal_fails + 1).min(7);
+                let backoff = VirtualDuration::from_us(10u64 << n.steal_fails);
+                n.steal_cooldown = at + cost + backoff;
+                if self.global_tokens > 0 && !n.wake_pending && !n.busy {
+                    // Schedule the retry ourselves; n.busy is false because
+                    // we're inside its own scheduling round, whose busy flag
+                    // is set after we return — harmless double wake guard.
+                    n.wake_pending = true;
+                    let when = n.steal_cooldown;
+                    self.events.push(when, Event::Wake(node));
+                }
+            }
+        }
+        cost
+    }
+
+    /// Deliver a completion signal to a slot that may live anywhere.
+    pub(crate) fn route_signal(&mut self, at: VirtualTime, from: NodeId, slot: SlotRef) {
+        if slot.node == from {
+            self.signal_local(from, slot);
+        } else {
+            self.transmit(at, from, slot.node, Msg::SyncSig { slot });
+        }
+    }
+
+    /// Decrement a slot on this node; fire its thread if it reaches zero.
+    pub(crate) fn signal_local(&mut self, node: NodeId, slot: SlotRef) {
+        debug_assert_eq!(slot.node, node);
+        let n = &mut self.nodes[node.index()];
+        match n.frames.get_mut(slot.frame) {
+            Some(entry) => {
+                FrameStore::ensure_slot(entry, slot.slot);
+                if let Some(tid) = entry.slots[slot.slot.0 as usize].signal() {
+                    n.ready.push_back((slot.frame, tid));
+                }
+            }
+            None => n.stats.dropped_signals += 1,
+        }
+    }
+
+    /// Execute one thread to completion; returns its CPU time.
+    fn run_thread(
+        &mut self,
+        start: VirtualTime,
+        node: NodeId,
+        frame: FrameId,
+        tid: ThreadId,
+    ) -> VirtualDuration {
+        let Some(entry) = self.nodes[node.index()].frames.get_mut(frame) else {
+            // Thread fired for a frame that already ended: application
+            // protocol bug, surfaced in the report.
+            self.nodes[node.index()].stats.dropped_signals += 1;
+            return VirtualDuration::ZERO;
+        };
+        let mut func = entry.func.take().expect("frame is already executing");
+        let (elapsed, ended) = {
+            let mut ctx = Ctx::new(self, node, frame, start);
+            func.run(&mut ctx, tid);
+            ctx.finish()
+        };
+        let n = &mut self.nodes[node.index()];
+        n.stats.threads += 1;
+        if ended {
+            n.frames.remove(frame);
+        } else if let Some(entry) = n.frames.get_mut(frame) {
+            entry.func = Some(func);
+        }
+        elapsed
+    }
+
+    pub(crate) fn comm_sender_overhead(&self, class: OpClass, bytes: u32) -> VirtualDuration {
+        self.config().comm.sender_overhead(class, bytes)
+    }
+}

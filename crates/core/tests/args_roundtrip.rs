@@ -1,0 +1,137 @@
+//! Property tests: the argument codec is the runtime's wire format for
+//! invocations and tokens; any asymmetry would corrupt migrating tasks.
+
+use earth_machine::NodeId;
+use earth_rt::{ArgsReader, ArgsWriter, FrameId, GlobalAddr, SlotId, SlotRef};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Item {
+    U8(u8),
+    U16(u16),
+    U32(u32),
+    U64(u64),
+    I32(i32),
+    I64(i64),
+    F64(f64),
+    F32(f32),
+    Node(u16),
+    Addr(u16, u32),
+    Slot(u16, u32, u32, u8),
+    Bytes(Vec<u8>),
+}
+
+fn arb_item() -> impl Strategy<Value = Item> {
+    prop_oneof![
+        any::<u8>().prop_map(Item::U8),
+        any::<u16>().prop_map(Item::U16),
+        any::<u32>().prop_map(Item::U32),
+        any::<u64>().prop_map(Item::U64),
+        any::<i32>().prop_map(Item::I32),
+        any::<i64>().prop_map(Item::I64),
+        any::<f64>().prop_filter("finite", |x| x.is_finite()).prop_map(Item::F64),
+        any::<f32>().prop_filter("finite", |x| x.is_finite()).prop_map(Item::F32),
+        any::<u16>().prop_map(Item::Node),
+        (any::<u16>(), any::<u32>()).prop_map(|(n, o)| Item::Addr(n, o)),
+        (any::<u16>(), any::<u32>(), any::<u32>(), any::<u8>())
+            .prop_map(|(n, f, g, s)| Item::Slot(n, f, g, s)),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Item::Bytes),
+    ]
+}
+
+fn write_item(w: &mut ArgsWriter, item: &Item) {
+    match item {
+        Item::U8(v) => {
+            w.u8(*v);
+        }
+        Item::U16(v) => {
+            w.u16(*v);
+        }
+        Item::U32(v) => {
+            w.u32(*v);
+        }
+        Item::U64(v) => {
+            w.u64(*v);
+        }
+        Item::I32(v) => {
+            w.i32(*v);
+        }
+        Item::I64(v) => {
+            w.i64(*v);
+        }
+        Item::F64(v) => {
+            w.f64(*v);
+        }
+        Item::F32(v) => {
+            w.f32(*v);
+        }
+        Item::Node(v) => {
+            w.node(NodeId(*v));
+        }
+        Item::Addr(n, o) => {
+            w.addr(GlobalAddr::new(NodeId(*n), *o));
+        }
+        Item::Slot(n, f, g, s) => {
+            w.slot(SlotRef {
+                node: NodeId(*n),
+                frame: FrameId { index: *f, gen: *g },
+                slot: SlotId(*s),
+            });
+        }
+        Item::Bytes(v) => {
+            w.bytes(v);
+        }
+    }
+}
+
+fn check_item(r: &mut ArgsReader<'_>, item: &Item) -> bool {
+    match item {
+        Item::U8(v) => r.u8() == *v,
+        Item::U16(v) => r.u16() == *v,
+        Item::U32(v) => r.u32() == *v,
+        Item::U64(v) => r.u64() == *v,
+        Item::I32(v) => r.i32() == *v,
+        Item::I64(v) => r.i64() == *v,
+        Item::F64(v) => r.f64() == *v,
+        Item::F32(v) => r.f32() == *v,
+        Item::Node(v) => r.node() == NodeId(*v),
+        Item::Addr(n, o) => r.addr() == GlobalAddr::new(NodeId(*n), *o),
+        Item::Slot(n, f, g, s) => {
+            r.slot()
+                == SlotRef {
+                    node: NodeId(*n),
+                    frame: FrameId { index: *f, gen: *g },
+                    slot: SlotId(*s),
+                }
+        }
+        Item::Bytes(v) => r.bytes() == v.as_slice(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn any_sequence_of_fields_roundtrips(items in proptest::collection::vec(arb_item(), 0..40)) {
+        let mut w = ArgsWriter::new();
+        for item in &items {
+            write_item(&mut w, item);
+        }
+        let buf = w.finish();
+        let mut r = ArgsReader::new(&buf);
+        for item in &items {
+            prop_assert!(check_item(&mut r, item), "field mismatch for {item:?}");
+        }
+        prop_assert_eq!(r.remaining(), 0, "trailing bytes left over");
+    }
+
+    #[test]
+    fn encoded_length_is_deterministic(items in proptest::collection::vec(arb_item(), 0..20)) {
+        let encode = || {
+            let mut w = ArgsWriter::new();
+            for item in &items {
+                write_item(&mut w, item);
+            }
+            w.finish()
+        };
+        prop_assert_eq!(encode(), encode());
+    }
+}

@@ -1,0 +1,215 @@
+//! Sequential bisection eigensolver with search-tree statistics.
+//!
+//! This is the reference implementation the parallel EARTH application is
+//! validated against, and the source of the Table 1 characteristics
+//! (number of search nodes, leaf depths, total sequential work). The
+//! search proceeds exactly like the parallel version: each *task* takes an
+//! interval known to contain `k > 0` eigenvalues, evaluates one Sturm
+//! count at the midpoint, and either splits or emits eigenvalues once the
+//! interval is narrower than the tolerance.
+
+use crate::sturm::negcount;
+use crate::tridiagonal::SymTridiagonal;
+
+/// A search-tree node: an interval and the eigenvalue counts at its ends.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+    /// Eigenvalues strictly below `lo`.
+    pub count_lo: usize,
+    /// Eigenvalues strictly below `hi`.
+    pub count_hi: usize,
+    /// Depth in the search tree (root = 0).
+    pub depth: u32,
+}
+
+impl Interval {
+    /// Eigenvalues inside this interval.
+    pub fn eigencount(&self) -> usize {
+        self.count_hi - self.count_lo
+    }
+}
+
+/// What a single bisection task does with its interval.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Step {
+    /// Interval narrower than the tolerance: emit its midpoint as an
+    /// eigenvalue of the recorded multiplicity.
+    Converged {
+        /// The approximate eigenvalue.
+        value: f64,
+        /// Its multiplicity within the tolerance window.
+        multiplicity: usize,
+    },
+    /// Interval split at its midpoint; children with zero eigenvalues are
+    /// already pruned away.
+    Split(Vec<Interval>),
+}
+
+/// Execute one search step: one Sturm count (the unit of work the cost
+/// model charges 7.82 ms for at n = 1000) or a convergence emission.
+pub fn step(m: &SymTridiagonal, iv: Interval, tol: f64) -> Step {
+    debug_assert!(iv.eigencount() > 0, "task on an empty interval");
+    if iv.hi - iv.lo < tol {
+        return Step::Converged {
+            value: 0.5 * (iv.lo + iv.hi),
+            multiplicity: iv.eigencount(),
+        };
+    }
+    let mid = 0.5 * (iv.lo + iv.hi);
+    let count_mid = negcount(m, mid);
+    let mut children = Vec::with_capacity(2);
+    if count_mid > iv.count_lo {
+        children.push(Interval {
+            lo: iv.lo,
+            hi: mid,
+            count_lo: iv.count_lo,
+            count_hi: count_mid,
+            depth: iv.depth + 1,
+        });
+    }
+    if iv.count_hi > count_mid {
+        children.push(Interval {
+            lo: mid,
+            hi: iv.hi,
+            count_lo: count_mid,
+            count_hi: iv.count_hi,
+            depth: iv.depth + 1,
+        });
+    }
+    Step::Split(children)
+}
+
+/// The root interval: Gershgorin bounds with their (trivially known)
+/// counts, after one confirming Sturm count at each end.
+pub fn root_interval(m: &SymTridiagonal) -> Interval {
+    let (lo, hi) = m.gershgorin();
+    Interval {
+        lo,
+        hi,
+        count_lo: 0,
+        count_hi: m.n(),
+        depth: 0,
+    }
+}
+
+/// Tree statistics gathered by the sequential solver — the Table 1 row.
+#[derive(Clone, Debug, Default)]
+pub struct BisectStats {
+    /// Search nodes that performed a Sturm count (the paper's "number of
+    /// tasks created").
+    pub tasks: usize,
+    /// Leaves that emitted eigenvalues.
+    pub leaves: usize,
+    /// Shallowest leaf depth.
+    pub min_leaf_depth: u32,
+    /// Deepest leaf depth.
+    pub max_leaf_depth: u32,
+    /// Total Sturm-count work in matrix rows (tasks × n).
+    pub sturm_rows: u64,
+}
+
+/// Find all eigenvalues of `m` to absolute tolerance `tol`.
+/// Returns them sorted ascending (with multiplicity) plus tree statistics.
+pub fn bisect_all(m: &SymTridiagonal, tol: f64) -> (Vec<f64>, BisectStats) {
+    assert!(tol > 0.0, "tolerance must be positive");
+    let mut stats = BisectStats {
+        min_leaf_depth: u32::MAX,
+        ..BisectStats::default()
+    };
+    let mut eigenvalues = Vec::with_capacity(m.n());
+    let mut stack = vec![root_interval(m)];
+    while let Some(iv) = stack.pop() {
+        stats.tasks += 1;
+        match step(m, iv, tol) {
+            Step::Converged {
+                value,
+                multiplicity,
+            } => {
+                stats.leaves += 1;
+                stats.min_leaf_depth = stats.min_leaf_depth.min(iv.depth);
+                stats.max_leaf_depth = stats.max_leaf_depth.max(iv.depth);
+                for _ in 0..multiplicity {
+                    eigenvalues.push(value);
+                }
+            }
+            Step::Split(children) => {
+                stats.sturm_rows += m.n() as u64;
+                stack.extend(children);
+            }
+        }
+    }
+    eigenvalues.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (eigenvalues, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toeplitz_eigenvalues_found_to_tolerance() {
+        let n = 60;
+        let m = SymTridiagonal::toeplitz(n, -2.0, 1.0);
+        let tol = 1e-8;
+        let (got, stats) = bisect_all(&m, tol);
+        let want = SymTridiagonal::toeplitz_eigenvalues(n, -2.0, 1.0);
+        assert_eq!(got.len(), n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < tol, "got {g}, want {w}");
+        }
+        assert!(stats.tasks > n, "tree must be bigger than the leaf count");
+        assert!(stats.max_leaf_depth >= stats.min_leaf_depth);
+    }
+
+    #[test]
+    fn clustered_matrix_counts_all_eigenvalues() {
+        let n = 150;
+        let m = SymTridiagonal::random_clustered(n, 4, 5);
+        let (ev, stats) = bisect_all(&m, 1e-6);
+        assert_eq!(ev.len(), n, "every eigenvalue accounted for");
+        assert!(ev.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(stats.leaves, stats.leaves);
+        // Sturm counts confirm each found value is bracketed correctly.
+        for (k, &v) in ev.iter().enumerate() {
+            let below = crate::sturm::negcount(&m, v - 1e-5);
+            assert!(below <= k, "value {k} mispositioned");
+        }
+    }
+
+    #[test]
+    fn step_prunes_empty_children() {
+        let m = SymTridiagonal::toeplitz(4, 0.0, 0.1);
+        let iv = root_interval(&m);
+        if let Step::Split(children) = step(&m, iv, 1e-12) {
+            for c in &children {
+                assert!(c.eigencount() > 0, "no empty child tasks");
+            }
+        } else {
+            panic!("root should split");
+        }
+    }
+
+    #[test]
+    fn multiplicity_from_tight_clusters() {
+        // Identical diagonal, zero coupling: n-fold eigenvalue at 3.
+        let m = SymTridiagonal::new(vec![3.0; 5], vec![0.0; 4]);
+        let (ev, _) = bisect_all(&m, 1e-9);
+        assert_eq!(ev.len(), 5);
+        for v in ev {
+            assert!((v - 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn deeper_tolerance_means_deeper_tree() {
+        let m = SymTridiagonal::random_clustered(64, 3, 1);
+        let (_, coarse) = bisect_all(&m, 1e-2);
+        let (_, fine) = bisect_all(&m, 1e-10);
+        assert!(fine.tasks > coarse.tasks);
+        assert!(fine.max_leaf_depth > coarse.max_leaf_depth);
+    }
+}

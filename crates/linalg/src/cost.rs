@@ -1,0 +1,55 @@
+//! Virtual-time cost model for the Eigenvalue application.
+//!
+//! Calibration (DESIGN.md §4): Table 1 reports a mean computation time of
+//! 7.82 ms per search step on a 1000×1000 matrix and a sequential runtime
+//! of 7310 ms over 935 tasks (935 × 7.82 ms ≈ 7.31 s — the sequential
+//! solver is exactly the sum of its steps). One step is one Sturm count,
+//! which is linear in the matrix dimension, giving **7.82 µs of simulated
+//! i860 time per matrix row**.
+
+use earth_sim::VirtualDuration;
+
+/// Simulated i860 time per matrix row of one Sturm count.
+pub const NS_PER_STURM_ROW: u64 = 7_820;
+
+/// Cost of one full search step (one Sturm count) on an `n × n` matrix.
+pub fn sturm_cost(n: usize) -> VirtualDuration {
+    VirtualDuration::from_ns(NS_PER_STURM_ROW * n as u64)
+}
+
+/// Cost of emitting a converged eigenvalue (bookkeeping only).
+pub fn emit_cost() -> VirtualDuration {
+    VirtualDuration::from_us(5)
+}
+
+/// Sequential virtual runtime implied by bisection statistics: the sum of
+/// all Sturm counts plus leaf emissions. This is the "original sequential
+/// version" denominator of the Figure 2 speedups.
+pub fn sequential_runtime(stats: &crate::bisect::BisectStats, n: usize) -> VirtualDuration {
+    let splits = stats.tasks - stats.leaves;
+    sturm_cost(n).times(splits as u64) + emit_cost().times(stats.leaves as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisect::bisect_all;
+    use crate::tridiagonal::SymTridiagonal;
+
+    #[test]
+    fn calibration_matches_table1_scale() {
+        // One step at n=1000 must be 7.82 ms.
+        assert!((sturm_cost(1000).as_ms_f64() - 7.82).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_runtime_sums_steps() {
+        let m = SymTridiagonal::toeplitz(100, -2.0, 1.0);
+        let (_, stats) = bisect_all(&m, 1e-6);
+        let t = sequential_runtime(&stats, 100);
+        let expect_ms =
+            (stats.tasks - stats.leaves) as f64 * sturm_cost(100).as_ms_f64()
+                + stats.leaves as f64 * emit_cost().as_ms_f64();
+        assert!((t.as_ms_f64() - expect_ms).abs() < 1e-6);
+    }
+}

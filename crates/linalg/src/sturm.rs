@@ -1,0 +1,97 @@
+//! Sturm-sequence eigenvalue counting.
+//!
+//! For a symmetric tridiagonal matrix `T`, the number of negative values
+//! in the sequence `q_1 = d_1 - x`, `q_i = d_i - x - e_{i-1}² / q_{i-1}`
+//! equals the number of eigenvalues of `T` strictly less than `x` (the
+//! LDLᵀ inertia argument ScaLAPACK's bisection kernel `dlaebz` relies
+//! on). One count is `O(n)` — this is the unit of work of every search
+//! node in the paper's Eigenvalue application.
+
+use crate::tridiagonal::SymTridiagonal;
+
+/// Number of eigenvalues of `m` strictly less than `x`.
+///
+/// Zero pivots are nudged by a tiny relative amount, the standard
+/// safeguard against division blow-up (LAPACK uses the same trick).
+pub fn negcount(m: &SymTridiagonal, x: f64) -> usize {
+    let d = m.diag();
+    let e = m.offdiag();
+    let tiny = f64::MIN_POSITIVE;
+    let mut count = 0;
+    let mut q = d[0] - x;
+    if q < 0.0 {
+        count += 1;
+    }
+    for i in 1..d.len() {
+        if q == 0.0 {
+            q = tiny;
+        }
+        q = d[i] - x - e[i - 1] * e[i - 1] / q;
+        if q < 0.0 {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toeplitz_check(n: usize) {
+        let m = SymTridiagonal::toeplitz(n, -2.0, 1.0);
+        let ev = SymTridiagonal::toeplitz_eigenvalues(n, -2.0, 1.0);
+        // Count below every midpoint between adjacent analytic eigenvalues.
+        for k in 0..=n {
+            let x = if k == 0 {
+                ev[0] - 0.1
+            } else if k == n {
+                ev[n - 1] + 0.1
+            } else {
+                (ev[k - 1] + ev[k]) / 2.0
+            };
+            assert_eq!(negcount(&m, x), k, "n={n}, k={k}");
+        }
+    }
+
+    #[test]
+    fn counts_match_analytic_spectrum() {
+        toeplitz_check(5);
+        toeplitz_check(20);
+        toeplitz_check(101);
+    }
+
+    #[test]
+    fn count_is_monotone_in_x() {
+        let m = SymTridiagonal::random_clustered(200, 5, 3);
+        let (lo, hi) = m.gershgorin();
+        let mut prev = 0;
+        for i in 0..=100 {
+            let x = lo + (hi - lo) * i as f64 / 100.0;
+            let c = negcount(&m, x);
+            assert!(c >= prev, "count must be non-decreasing");
+            prev = c;
+        }
+        assert_eq!(prev, 200, "all eigenvalues below the upper bound");
+    }
+
+    #[test]
+    fn bounds_bracket_everything() {
+        let m = SymTridiagonal::random_clustered(64, 3, 11);
+        let (lo, hi) = m.gershgorin();
+        assert_eq!(negcount(&m, lo), 0);
+        assert_eq!(negcount(&m, hi), 64);
+    }
+
+    #[test]
+    fn exact_eigenvalue_at_pivot_handled() {
+        // d = [0], eigenvalue exactly 0; counting below 0 gives 0.
+        let m = SymTridiagonal::new(vec![0.0], vec![]);
+        assert_eq!(negcount(&m, 0.0), 0);
+        assert_eq!(negcount(&m, 1e-12), 1);
+        // zero pivot mid-recurrence must not produce NaN
+        let m2 = SymTridiagonal::new(vec![1.0, 1.0, 1.0], vec![1.0, 1.0]);
+        let c = negcount(&m2, 1.0);
+        assert!(c <= 3);
+    }
+}

@@ -1,0 +1,207 @@
+//! Symmetric tridiagonal matrices.
+
+use earth_sim::Rng;
+
+/// A symmetric tridiagonal matrix: diagonal `d[0..n]` and off-diagonal
+/// `e[0..n-1]` (so `A[i][i] = d[i]`, `A[i][i+1] = A[i+1][i] = e[i]`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymTridiagonal {
+    d: Vec<f64>,
+    e: Vec<f64>,
+}
+
+impl SymTridiagonal {
+    /// Build from diagonals. `e.len()` must be `d.len() - 1` (or both
+    /// empty).
+    pub fn new(d: Vec<f64>, e: Vec<f64>) -> Self {
+        assert!(!d.is_empty(), "matrix must be non-empty");
+        assert_eq!(e.len(), d.len() - 1, "off-diagonal length mismatch");
+        SymTridiagonal { d, e }
+    }
+
+    /// The classic Toeplitz test matrix with constant diagonal `a` and
+    /// off-diagonal `b`, whose eigenvalues are known analytically:
+    /// `a + 2 b cos(kπ/(n+1))` for `k = 1..n`.
+    pub fn toeplitz(n: usize, a: f64, b: f64) -> Self {
+        SymTridiagonal {
+            d: vec![a; n],
+            e: vec![b; n - 1],
+        }
+    }
+
+    /// A seeded random matrix with a *clustered* spectrum, the shape the
+    /// paper calls out ("eigenvalues are not equally spread but
+    /// clustered, which means that the tree is irregular"). Construction:
+    /// diagonal entries drawn from a handful of cluster centers with small
+    /// spread, modest off-diagonal coupling.
+    pub fn random_clustered(n: usize, clusters: usize, seed: u64) -> Self {
+        assert!(n >= 2 && clusters >= 1);
+        let mut rng = Rng::new(seed);
+        let centers: Vec<f64> = (0..clusters)
+            .map(|_| rng.gen_f64_range(-50.0, 50.0))
+            .collect();
+        let d = (0..n)
+            .map(|_| {
+                let c = *rng.choose(&centers).unwrap();
+                c + rng.gen_f64_range(-0.5, 0.5)
+            })
+            .collect();
+        let e = (0..n - 1).map(|_| rng.gen_f64_range(-1.0, 1.0)).collect();
+        SymTridiagonal { d, e }
+    }
+
+    /// A seeded matrix whose spectrum consists of `clusters` *tight*
+    /// clusters (width ≈ `within`, far below any practical bisection
+    /// tolerance) — the regime of Table 1, where 1000 eigenvalues
+    /// produce only ~935 search tasks because whole clusters converge
+    /// as single multiplicity-carrying leaves.
+    pub fn tight_clusters(n: usize, clusters: usize, within: f64, seed: u64) -> Self {
+        assert!(n >= 2 && clusters >= 1 && within > 0.0);
+        let mut rng = Rng::new(seed);
+        let centers: Vec<f64> = (0..clusters)
+            .map(|_| rng.gen_f64_range(-50.0, 50.0))
+            .collect();
+        let d = (0..n)
+            .map(|_| {
+                let c = *rng.choose(&centers).unwrap();
+                c + rng.gen_f64_range(-within, within)
+            })
+            .collect();
+        // Coupling of the same magnitude keeps eigenvalues within their
+        // clusters while still exercising the full Sturm recurrence.
+        let e = (0..n - 1)
+            .map(|_| rng.gen_f64_range(-within, within))
+            .collect();
+        SymTridiagonal { d, e }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.d.len()
+    }
+
+    /// Diagonal entries.
+    pub fn diag(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Off-diagonal entries.
+    pub fn offdiag(&self) -> &[f64] {
+        &self.e
+    }
+
+    /// Analytic eigenvalues of [`SymTridiagonal::toeplitz`], sorted
+    /// ascending — the reference the test suite validates bisection
+    /// against.
+    pub fn toeplitz_eigenvalues(n: usize, a: f64, b: f64) -> Vec<f64> {
+        let mut ev: Vec<f64> = (1..=n)
+            .map(|k| a + 2.0 * b * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .collect();
+        ev.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        ev
+    }
+
+    /// A Gershgorin interval `[lo, hi]` guaranteed to contain every
+    /// eigenvalue, slightly widened so the endpoints are strictly outside
+    /// the spectrum.
+    pub fn gershgorin(&self) -> (f64, f64) {
+        let n = self.n();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..n {
+            let left = if i > 0 { self.e[i - 1].abs() } else { 0.0 };
+            let right = if i + 1 < n { self.e[i].abs() } else { 0.0 };
+            let r = left + right;
+            lo = lo.min(self.d[i] - r);
+            hi = hi.max(self.d[i] + r);
+        }
+        let pad = (hi - lo).max(1.0) * 1e-6;
+        (lo - pad, hi + pad)
+    }
+
+    /// Serialize to bytes (for replicating the matrix into node memories).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.n() as u32;
+        let mut out = Vec::with_capacity(4 + 8 * (2 * self.n() - 1));
+        out.extend_from_slice(&n.to_le_bytes());
+        for &v in &self.d {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in &self.e {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize from [`SymTridiagonal::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let mut read = |i: usize| {
+            f64::from_le_bytes(bytes[4 + 8 * i..12 + 8 * i].try_into().unwrap())
+        };
+        let d = (0..n).map(&mut read).collect();
+        let e = (n..2 * n - 1).map(&mut read).collect();
+        SymTridiagonal::new(d, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_checks() {
+        let m = SymTridiagonal::new(vec![1.0, 2.0, 3.0], vec![0.5, 0.5]);
+        assert_eq!(m.n(), 3);
+        assert_eq!(m.diag(), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.offdiag(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bad_offdiag_rejected() {
+        SymTridiagonal::new(vec![1.0, 2.0], vec![]);
+    }
+
+    #[test]
+    fn gershgorin_contains_toeplitz_spectrum() {
+        let m = SymTridiagonal::toeplitz(50, -2.0, 1.0);
+        let (lo, hi) = m.gershgorin();
+        for ev in SymTridiagonal::toeplitz_eigenvalues(50, -2.0, 1.0) {
+            assert!(lo < ev && ev < hi, "{ev} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn toeplitz_eigenvalues_sorted_and_bounded() {
+        let ev = SymTridiagonal::toeplitz_eigenvalues(10, 0.0, 1.0);
+        assert!(ev.windows(2).all(|w| w[0] <= w[1]));
+        assert!(ev.iter().all(|v| v.abs() < 2.0));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let m = SymTridiagonal::random_clustered(37, 4, 99);
+        let back = SymTridiagonal::from_bytes(&m.to_bytes());
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn tight_clusters_produce_multiplets() {
+        let m = SymTridiagonal::tight_clusters(60, 6, 1e-6, 3);
+        let (ev, stats) = crate::bisect::bisect_all(&m, 1e-3);
+        assert_eq!(ev.len(), 60);
+        // Whole clusters converge as single leaves: far fewer leaves
+        // than eigenvalues.
+        assert!(stats.leaves <= 12, "leaves {}", stats.leaves);
+    }
+
+    #[test]
+    fn clustered_matrix_is_deterministic() {
+        let a = SymTridiagonal::random_clustered(100, 5, 7);
+        let b = SymTridiagonal::random_clustered(100, 5, 7);
+        assert_eq!(a, b);
+        let c = SymTridiagonal::random_clustered(100, 5, 8);
+        assert_ne!(a, c);
+    }
+}

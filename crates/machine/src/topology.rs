@@ -1,0 +1,140 @@
+//! Node identity and the hierarchical-crossbar topology.
+//!
+//! MANNA connects nodes through 16×16 crossbars arranged hierarchically:
+//! up to 16 nodes share one first-level crossbar; clusters are joined by a
+//! second-level stage. For message timing the relevant consequence is the
+//! *hop count*: 1 crossbar traversal inside a cluster, 3 (up, across, down)
+//! between clusters. Local "messages" (src == dst) never touch the network.
+
+use std::fmt;
+
+/// Identifies one machine node (0-based). The paper's experiments use up
+/// to 20 nodes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Index into per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Crossbar hops between two nodes for a given first-level cluster size.
+///
+/// * same node → 0 (local, free);
+/// * same cluster → 1 (one crossbar);
+/// * different clusters → 3 (cluster crossbar up, top-level stage,
+///   cluster crossbar down).
+pub fn hops(src: NodeId, dst: NodeId, cluster_size: u16) -> u32 {
+    assert!(cluster_size > 0, "cluster size must be positive");
+    if src == dst {
+        0
+    } else if src.0 / cluster_size == dst.0 / cluster_size {
+        1
+    } else {
+        3
+    }
+}
+
+/// Children of `node` in the binomial-ish binary broadcast tree rooted at
+/// `root` over `n` nodes. Used by the neural-network application's
+/// tree-organized communication (the paper cites Cordsen et al. for
+/// this optimization) and by the message-passing broadcast.
+///
+/// Nodes are relabeled so the root is rank 0; rank r's children are
+/// 2r+1 and 2r+2.
+pub fn broadcast_children(root: NodeId, node: NodeId, n: u16) -> Vec<NodeId> {
+    assert!(n > 0);
+    let rank = (node.0 + n - root.0) % n;
+    let mut out = Vec::with_capacity(2);
+    for child_rank in [2 * rank + 1, 2 * rank + 2] {
+        if child_rank < n {
+            out.push(NodeId((child_rank + root.0) % n));
+        }
+    }
+    out
+}
+
+/// Parent of `node` in the same broadcast tree, or `None` for the root.
+pub fn broadcast_parent(root: NodeId, node: NodeId, n: u16) -> Option<NodeId> {
+    let rank = (node.0 + n - root.0) % n;
+    if rank == 0 {
+        None
+    } else {
+        let parent_rank = (rank - 1) / 2;
+        Some(NodeId((parent_rank + root.0) % n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_counts() {
+        let a = NodeId(0);
+        let b = NodeId(5);
+        let c = NodeId(17);
+        assert_eq!(hops(a, a, 16), 0);
+        assert_eq!(hops(a, b, 16), 1);
+        assert_eq!(hops(a, c, 16), 3);
+        assert_eq!(hops(c, a, 16), 3);
+        // with tiny clusters everything is remote
+        assert_eq!(hops(a, b, 1), 3);
+    }
+
+    #[test]
+    fn tree_covers_all_nodes_exactly_once() {
+        for n in 1u16..=24 {
+            for root in [0u16, 3 % n] {
+                let root = NodeId(root);
+                let mut seen = vec![false; n as usize];
+                seen[root.index()] = true;
+                let mut frontier = vec![root];
+                while let Some(x) = frontier.pop() {
+                    for ch in broadcast_children(root, x, n) {
+                        assert!(!seen[ch.index()], "node visited twice (n={n})");
+                        seen[ch.index()] = true;
+                        frontier.push(ch);
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "tree misses nodes (n={n})");
+            }
+        }
+    }
+
+    #[test]
+    fn parent_inverts_children() {
+        let n = 20;
+        let root = NodeId(2);
+        for i in 0..n {
+            let node = NodeId(i);
+            for ch in broadcast_children(root, node, n) {
+                assert_eq!(broadcast_parent(root, ch, n), Some(node));
+            }
+        }
+        assert_eq!(broadcast_parent(root, root, n), None);
+    }
+
+    #[test]
+    fn tree_depth_is_logarithmic() {
+        // depth of rank n-1 in a binary heap layout
+        let n = 20u16;
+        let root = NodeId(0);
+        let mut depth = 0;
+        let mut cur = NodeId(n - 1);
+        while let Some(p) = broadcast_parent(root, cur, n) {
+            cur = p;
+            depth += 1;
+        }
+        assert!(depth <= 5, "depth {depth} too large for 20 nodes");
+    }
+}

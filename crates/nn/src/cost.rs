@@ -1,0 +1,100 @@
+//! i860-calibrated cost model for unit computations.
+//!
+//! Table 3 gives the sequential forward-pass runtime per unit for the
+//! paper's square networks:
+//!
+//! | units/layer | runtime/unit |
+//! |-------------|--------------|
+//! | 80          | 32 µs        |
+//! | 200         | 67 µs        |
+//! | 720         | 222 µs       |
+//!
+//! A per-unit model `a + b·fanin` fitted to the first two rows gives
+//! `b = 0.2917 µs` per synapse and `a = 8.67 µs` fixed overhead, and
+//! *predicts* 218.7 µs at 720 units — within 1.5 % of the measured
+//! 222 µs, confirming the linear model. Backpropagation roughly doubles
+//! total time ("runtimes for forward and backpropagation together is
+//! about twice the time"), so the backward per-unit cost uses the same
+//! constants.
+
+use earth_sim::VirtualDuration;
+
+/// Fixed per-unit cost (activation function, loop overhead): 8.67 µs.
+pub const UNIT_FIXED_NS: u64 = 8_670;
+
+/// Per-incoming-connection cost (one multiply-accumulate): 291.7 ns.
+pub const SYNAPSE_NS: u64 = 292;
+
+/// Forward cost of one unit with `fanin` incoming connections.
+pub fn forward_unit_cost(fanin: usize) -> VirtualDuration {
+    VirtualDuration::from_ns(UNIT_FIXED_NS + SYNAPSE_NS * fanin as u64)
+}
+
+/// Forward cost of computing `units` units of equal `fanin`.
+pub fn forward_slice_cost(units: usize, fanin: usize) -> VirtualDuration {
+    forward_unit_cost(fanin).times(units as u64)
+}
+
+/// Backward cost of one unit: delta computation plus the weight update
+/// touch every synapse once more, matching the observed ≈2× total.
+pub fn backward_unit_cost(fanin: usize) -> VirtualDuration {
+    VirtualDuration::from_ns(UNIT_FIXED_NS + SYNAPSE_NS * fanin as u64)
+}
+
+/// Backward cost of `units` units of equal `fanin`.
+pub fn backward_slice_cost(units: usize, fanin: usize) -> VirtualDuration {
+    backward_unit_cost(fanin).times(units as u64)
+}
+
+/// Cost of the central node's per-sample bookkeeping (error reduction
+/// over the output vector).
+pub fn error_calc_cost(outputs: usize) -> VirtualDuration {
+    VirtualDuration::from_ns(200 * outputs as u64)
+}
+
+/// Sequential forward-pass runtime of a square `units`-wide 3-layer net:
+/// two compute phases (hidden, output) plus the error calculation — the
+/// Table 3 "sequential runtime" column.
+pub fn sequential_forward(units: usize) -> VirtualDuration {
+    forward_slice_cost(units, units).times(2) + error_calc_cost(units)
+}
+
+/// Sequential forward+backward runtime (Figure 8's denominator).
+pub fn sequential_forward_backward(units: usize) -> VirtualDuration {
+    sequential_forward(units) + backward_slice_cost(units, units).times(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_unit_costs_match_table3() {
+        // 32 µs at 80 units, 67 µs at 200, ~222 µs at 720.
+        assert!((forward_unit_cost(80).as_us_f64() - 32.0).abs() < 0.5);
+        assert!((forward_unit_cost(200).as_us_f64() - 67.0).abs() < 0.5);
+        let u720 = forward_unit_cost(720).as_us_f64();
+        assert!((u720 - 222.0).abs() < 5.0, "720-unit cost {u720}");
+    }
+
+    #[test]
+    fn sequential_runtimes_match_table3() {
+        // 5.047 ms, 26.96 ms, 319.1 ms.
+        let t80 = sequential_forward(80).as_ms_f64();
+        let t200 = sequential_forward(200).as_ms_f64();
+        let t720 = sequential_forward(720).as_ms_f64();
+        assert!((t80 - 5.047).abs() < 0.2, "80: {t80}");
+        assert!((t200 - 26.96).abs() < 0.8, "200: {t200}");
+        assert!((t720 - 319.1).abs() < 12.0, "720: {t720}");
+    }
+
+    #[test]
+    fn forward_backward_is_about_twice_forward() {
+        for units in [80, 200, 720] {
+            let f = sequential_forward(units).as_us_f64();
+            let fb = sequential_forward_backward(units).as_us_f64();
+            let ratio = fb / f;
+            assert!((1.8..2.2).contains(&ratio), "ratio {ratio} at {units}");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Feedforward neural-network substrate for the paper's §3.3 application.
+//!
+//! The paper parallelizes the *unit level* of a 3-layer fully-connected
+//! feedforward network (input, one hidden, output — equal widths of 80,
+//! 200 or 720 units) with sigmoid units and backpropagation learning. The
+//! per-sample computation is tiny (5 ms sequential at 80 units) and the
+//! communication fully connected, making this "the very end of the
+//! spectrum of parallelizable programs".
+//!
+//! This crate provides the sequential network (the correctness reference
+//! and speedup denominator), the unit-slicing decomposition the parallel
+//! application distributes over nodes, and the i860-calibrated per-unit
+//! cost model fitted to Table 3.
+
+pub mod cost;
+pub mod net;
+pub mod slice;
+
+pub use cost::{backward_unit_cost, forward_unit_cost};
+pub use net::Mlp;
+pub use slice::UnitRange;

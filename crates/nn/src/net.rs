@@ -1,0 +1,331 @@
+//! The sequential feedforward network: forward pass, backpropagation,
+//! stochastic-gradient update.
+//!
+//! All arithmetic uses `f32` ("all computations using floats for the
+//! operands", Table 3). The parallel application computes *exactly* these
+//! formulas, unit-slice by unit-slice, so its outputs are validated
+//! bit-for-bit against this implementation (summation order is kept
+//! identical: ascending over fan-in).
+
+use earth_sim::Rng;
+
+/// One fully-connected layer: `units × fanin` weights (row-major, one row
+/// per unit) plus a bias per unit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Layer {
+    /// Number of units in this layer.
+    pub units: usize,
+    /// Incoming connections per unit.
+    pub fanin: usize,
+    /// Weights, `w[u * fanin + i]` connecting input `i` to unit `u`.
+    pub w: Vec<f32>,
+    /// Biases, one per unit.
+    pub b: Vec<f32>,
+}
+
+impl Layer {
+    fn new(units: usize, fanin: usize, rng: &mut Rng) -> Self {
+        let scale = (1.0 / fanin as f64).sqrt() as f32;
+        let w = (0..units * fanin)
+            .map(|_| (rng.gen_f64_range(-1.0, 1.0) as f32) * scale)
+            .collect();
+        let b = (0..units)
+            .map(|_| (rng.gen_f64_range(-0.1, 0.1)) as f32)
+            .collect();
+        Layer {
+            units,
+            fanin,
+            w,
+            b,
+        }
+    }
+
+    /// Net input (pre-activation) of `unit` given `input`.
+    pub fn net_input(&self, unit: usize, input: &[f32]) -> f32 {
+        debug_assert_eq!(input.len(), self.fanin);
+        let row = &self.w[unit * self.fanin..(unit + 1) * self.fanin];
+        let mut s = self.b[unit];
+        for (wi, xi) in row.iter().zip(input) {
+            s += wi * xi;
+        }
+        s
+    }
+
+    /// Activations of units `lo..hi` — the slice a machine node computes
+    /// under unit parallelism.
+    pub fn forward_slice(&self, lo: usize, hi: usize, input: &[f32]) -> Vec<f32> {
+        (lo..hi)
+            .map(|u| sigmoid(self.net_input(u, input)))
+            .collect()
+    }
+
+    /// Full-layer activations.
+    pub fn forward(&self, input: &[f32]) -> Vec<f32> {
+        self.forward_slice(0, self.units, input)
+    }
+
+    /// Contribution of output-unit deltas `lo..hi` to the previous layer's
+    /// error terms: `partial[j] = Σ_{u in lo..hi} w[u][j] · delta[u - lo]`.
+    /// Under unit parallelism each node computes this for the units it
+    /// owns; the partial vectors are then summed.
+    pub fn backward_partials(&self, lo: usize, hi: usize, delta: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(delta.len(), hi - lo);
+        let mut out = vec![0.0f32; self.fanin];
+        for u in lo..hi {
+            let row = &self.w[u * self.fanin..(u + 1) * self.fanin];
+            let d = delta[u - lo];
+            for (o, wi) in out.iter_mut().zip(row) {
+                *o += wi * d;
+            }
+        }
+        out
+    }
+
+    /// Gradient-descent update of units `lo..hi` for one sample:
+    /// `w[u][i] -= lr · delta[u] · input[i]`, `b[u] -= lr · delta[u]`.
+    pub fn update_slice(&mut self, lo: usize, hi: usize, delta: &[f32], input: &[f32], lr: f32) {
+        debug_assert_eq!(delta.len(), hi - lo);
+        for u in lo..hi {
+            let d = delta[u - lo];
+            let row = &mut self.w[u * self.fanin..(u + 1) * self.fanin];
+            for (wi, xi) in row.iter_mut().zip(input) {
+                *wi -= lr * d * xi;
+            }
+            self.b[u] -= lr * d;
+        }
+    }
+}
+
+/// The logistic activation — the paper's "quite simple" Θ function.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Derivative of the sigmoid expressed through its value.
+#[inline]
+pub fn sigmoid_prime(y: f32) -> f32 {
+    y * (1.0 - y)
+}
+
+/// A 3-layer (input → hidden → output) fully-connected feedforward
+/// network, the configuration of all the paper's measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mlp {
+    /// Hidden layer (fanin = input width).
+    pub hidden: Layer,
+    /// Output layer (fanin = hidden width).
+    pub output: Layer,
+}
+
+/// Activations produced by a forward pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Activations {
+    /// Hidden-layer outputs.
+    pub hidden: Vec<f32>,
+    /// Output-layer outputs.
+    pub output: Vec<f32>,
+}
+
+/// Per-sample error terms produced by backpropagation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Deltas {
+    /// Output-unit deltas.
+    pub output: Vec<f32>,
+    /// Hidden-unit deltas.
+    pub hidden: Vec<f32>,
+}
+
+impl Mlp {
+    /// A seeded network with `inputs` inputs, `hidden` hidden units and
+    /// `outputs` output units. The paper uses equal widths per layer.
+    pub fn new(inputs: usize, hidden: usize, outputs: usize, seed: u64) -> Self {
+        let mut rng = Rng::new(seed);
+        Mlp {
+            hidden: Layer::new(hidden, inputs, &mut rng),
+            output: Layer::new(outputs, hidden, &mut rng),
+        }
+    }
+
+    /// The paper's square configuration: `units` per layer everywhere.
+    pub fn square(units: usize, seed: u64) -> Self {
+        Mlp::new(units, units, units, seed)
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, input: &[f32]) -> Activations {
+        let hidden = self.hidden.forward(input);
+        let output = self.output.forward(&hidden);
+        Activations { hidden, output }
+    }
+
+    /// Backpropagate the squared-error loss `½‖output − target‖²`.
+    pub fn backprop(&self, acts: &Activations, target: &[f32]) -> Deltas {
+        let output: Vec<f32> = acts
+            .output
+            .iter()
+            .zip(target)
+            .map(|(&a, &t)| (a - t) * sigmoid_prime(a))
+            .collect();
+        let partial = self.output.backward_partials(0, self.output.units, &output);
+        let hidden: Vec<f32> = acts
+            .hidden
+            .iter()
+            .zip(&partial)
+            .map(|(&a, &p)| p * sigmoid_prime(a))
+            .collect();
+        Deltas { output, hidden }
+    }
+
+    /// One full online-learning step (forward, backward, update).
+    /// Returns the sample's squared error before the update.
+    pub fn train_sample(&mut self, input: &[f32], target: &[f32], lr: f32) -> f32 {
+        let acts = self.forward(input);
+        let err: f32 = acts
+            .output
+            .iter()
+            .zip(target)
+            .map(|(&a, &t)| (a - t) * (a - t))
+            .sum();
+        let deltas = self.backprop(&acts, target);
+        self.output
+            .update_slice(0, self.output.units, &deltas.output, &acts.hidden, lr);
+        self.hidden
+            .update_slice(0, self.hidden.units, &deltas.hidden, input, lr);
+        0.5 * err
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_slices_compose_to_full_layer() {
+        let net = Mlp::square(16, 3);
+        let input: Vec<f32> = (0..16).map(|i| (i as f32) / 16.0).collect();
+        let full = net.hidden.forward(&input);
+        let mut stitched = Vec::new();
+        for (lo, hi) in [(0, 5), (5, 11), (11, 16)] {
+            stitched.extend(net.hidden.forward_slice(lo, hi, &input));
+        }
+        assert_eq!(full, stitched, "slicing must be exact, not approximate");
+    }
+
+    #[test]
+    fn backward_partials_compose_by_summation() {
+        let net = Mlp::square(12, 5);
+        let delta: Vec<f32> = (0..12).map(|i| 0.01 * i as f32).collect();
+        let full = net.output.backward_partials(0, 12, &delta);
+        let a = net.output.backward_partials(0, 7, &delta[0..7]);
+        let b = net.output.backward_partials(7, 12, &delta[7..12]);
+        for j in 0..12 {
+            let sum = a[j] + b[j];
+            assert!(
+                (full[j] - sum).abs() < 1e-5,
+                "partial sums diverge at {j}: {} vs {sum}",
+                full[j]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut net = Mlp::new(4, 6, 3, 9);
+        let input = [0.2f32, -0.4, 0.7, 0.1];
+        let target = [0.9f32, 0.1, 0.5];
+        let acts = net.forward(&input);
+        let deltas = net.backprop(&acts, &target);
+        // analytic dE/dw for output weight (u=1, i=2): delta_out[1] * hidden[2]
+        let analytic = deltas.output[1] as f64 * acts.hidden[2] as f64;
+        let loss = |n: &Mlp| -> f64 {
+            let a = n.forward(&input);
+            0.5 * a
+                .output
+                .iter()
+                .zip(&target)
+                .map(|(&x, &t)| ((x - t) as f64).powi(2))
+                .sum::<f64>()
+        };
+        let eps = 1e-3f32;
+        let idx = net.output.fanin + 2;
+        let base = loss(&net);
+        net.output.w[idx] += eps;
+        let bumped = loss(&net);
+        let numeric = (bumped - base) / eps as f64;
+        assert!(
+            (analytic - numeric).abs() < 1e-3,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn hidden_gradient_matches_finite_differences() {
+        let mut net = Mlp::new(3, 5, 2, 21);
+        let input = [0.5f32, -0.3, 0.8];
+        let target = [0.2f32, 0.7];
+        let acts = net.forward(&input);
+        let deltas = net.backprop(&acts, &target);
+        let analytic = deltas.hidden[2] as f64 * input[1] as f64;
+        let loss = |n: &Mlp| -> f64 {
+            let a = n.forward(&input);
+            0.5 * a
+                .output
+                .iter()
+                .zip(&target)
+                .map(|(&x, &t)| ((x - t) as f64).powi(2))
+                .sum::<f64>()
+        };
+        let eps = 1e-3f32;
+        let idx = 2 * net.hidden.fanin + 1;
+        let base = loss(&net);
+        net.hidden.w[idx] += eps;
+        let numeric = (loss(&net) - base) / eps as f64;
+        assert!(
+            (analytic - numeric).abs() < 1e-3,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn online_training_reduces_error() {
+        let mut net = Mlp::new(2, 8, 1, 4);
+        // XOR — the classic non-linearly-separable check.
+        let samples = [
+            ([0.0f32, 0.0], [0.05f32]),
+            ([0.0, 1.0], [0.95]),
+            ([1.0, 0.0], [0.95]),
+            ([1.0, 1.0], [0.05]),
+        ];
+        let sweep = |net: &mut Mlp, lr: f32| -> f32 {
+            samples
+                .iter()
+                .map(|(x, t)| net.train_sample(x, t, lr))
+                .sum()
+        };
+        let first = sweep(&mut net, 2.0);
+        let mut last = first;
+        for _ in 0..3000 {
+            last = sweep(&mut net, 2.0);
+        }
+        assert!(
+            last < first / 10.0,
+            "training stuck: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+        let y = sigmoid(0.3);
+        assert!((sigmoid_prime(y) - y * (1.0 - y)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn seeded_networks_are_reproducible() {
+        assert_eq!(Mlp::square(80, 7), Mlp::square(80, 7));
+        assert_ne!(Mlp::square(80, 7), Mlp::square(80, 8));
+    }
+}

@@ -1,0 +1,77 @@
+//! Unit-parallel decomposition: which units of a layer each machine node
+//! owns ("grouping several units per machine node ... 'slicing' the
+//! layer", §3.3).
+
+/// A contiguous range of units assigned to one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnitRange {
+    /// First unit (inclusive).
+    pub lo: usize,
+    /// One past the last unit.
+    pub hi: usize,
+}
+
+impl UnitRange {
+    /// Number of units in the range.
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// True when the range is empty (more nodes than units).
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+/// Partition `units` units over `parts` nodes as evenly as possible: the
+/// first `units % parts` nodes get one extra.
+pub fn partition(units: usize, parts: usize) -> Vec<UnitRange> {
+    assert!(parts > 0, "need at least one part");
+    let base = units / parts;
+    let extra = units % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(UnitRange { lo, hi: lo + len });
+        lo += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_exactly_once() {
+        for units in [1, 7, 80, 200, 720] {
+            for parts in [1, 2, 3, 16, 20] {
+                let ranges = partition(units, parts);
+                assert_eq!(ranges.len(), parts);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.lo, expect);
+                    expect = r.hi;
+                }
+                assert_eq!(expect, units, "units={units} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn balance_within_one() {
+        let ranges = partition(80, 16);
+        let min = ranges.iter().map(UnitRange::len).min().unwrap();
+        let max = ranges.iter().map(UnitRange::len).max().unwrap();
+        assert!(max - min <= 1);
+        assert_eq!(max, 5);
+    }
+
+    #[test]
+    fn more_parts_than_units_gives_empty_tails() {
+        let ranges = partition(3, 5);
+        assert_eq!(ranges.iter().filter(|r| !r.is_empty()).count(), 3);
+        assert_eq!(ranges.iter().map(UnitRange::len).sum::<usize>(), 3);
+    }
+}

@@ -1,0 +1,161 @@
+//! Timestamped event queue with a total, reproducible order.
+//!
+//! `BinaryHeap` alone is not enough for a deterministic simulator: two
+//! events at the same virtual instant would pop in an unspecified order.
+//! Every pushed event therefore carries a monotonically increasing sequence
+//! number, and the queue orders by `(time, seq)` — earliest time first,
+//! insertion order among ties. This makes whole-simulation traces a pure
+//! function of (program, seed).
+
+use crate::time::VirtualTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    time: VirtualTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of `(VirtualTime, E)` pairs.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` at `time`. Events pushed at equal times pop in
+    /// push order.
+    pub fn push(&mut self, time: VirtualTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(VirtualTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Timestamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<VirtualTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (a cheap activity metric).
+    pub fn total_scheduled(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Drop all pending events (used to cut a simulation short once its
+    /// result is known, e.g. after global termination is detected).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::VirtualDuration;
+
+    fn t(us: u64) -> VirtualTime {
+        VirtualTime::ZERO + VirtualDuration::from_us(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(t(10), 1);
+        q.push(t(5), 0);
+        assert_eq!(q.pop(), Some((t(5), 0)));
+        q.push(t(7), 2);
+        assert_eq!(q.pop(), Some((t(7), 2)));
+        assert_eq!(q.pop(), Some((t(10), 1)));
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(t(9), ());
+        q.push(t(3), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(t(3)));
+        assert_eq!(q.total_scheduled(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.total_scheduled(), 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Summary statistics for experiment series.
+//!
+//! The paper reports each Gröbner data point as the mean / minimum /
+//! maximum speedup over 20 seeded runs (Figs. 4b and 5); these helpers
+//! compute exactly those summaries plus the sample standard deviation used
+//! in EXPERIMENTS.md.
+
+use std::fmt;
+
+/// Mean / min / max / stddev of a sample of `f64` observations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Summarize a non-empty sample. Panics on an empty slice.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "Summary::of on empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in samples {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let stddev = if n >= 2 {
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            min,
+            max,
+            stddev,
+        }
+    }
+
+    /// max/min ratio — the paper's "vary by a factor of up to 7" metric.
+    pub fn spread_factor(&self) -> f64 {
+        if self.min > 0.0 {
+            self.max / self.min
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:.2} (min {:.2}, max {:.2}, sd {:.2}, n={})",
+            self.mean, self.min, self.max, self.stddev, self.n
+        )
+    }
+}
+
+/// Speedup of a baseline against a set of trials: `base / trial` for each
+/// trial, summarized. This is how every figure in the paper is computed:
+/// sequential virtual runtime over parallel virtual runtime.
+pub fn speedup_summary(sequential_ns: u64, parallel_ns: &[u64]) -> Summary {
+    let series: Vec<f64> = parallel_ns
+        .iter()
+        .map(|&p| sequential_ns as f64 / p as f64)
+        .collect();
+    Summary::of(&series)
+}
+
+/// Render a fixed-width table row of `(label, cells)` for the repro
+/// harness's text output.
+pub fn table_row(label: &str, cells: &[String], width: usize) -> String {
+    let mut row = format!("{label:<18}");
+    for c in cells {
+        row.push_str(&format!("{c:>width$}"));
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // sample sd of 1..4 = sqrt(5/3)
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((s.spread_factor() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn speedups() {
+        let s = speedup_summary(1000, &[500, 250, 1000]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - (2.0 + 4.0 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_formatting() {
+        let r = table_row("lazard", &["1.00".into(), "1.98".into()], 8);
+        assert!(r.starts_with("lazard"));
+        assert!(r.ends_with("    1.98"));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Summary::of(&[2.0, 2.0]);
+        assert_eq!(s.to_string(), "mean 2.00 (min 2.00, max 2.00, sd 0.00, n=2)");
+    }
+}

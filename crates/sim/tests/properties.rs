@@ -1,0 +1,78 @@
+//! Property tests of the simulation core.
+
+use earth_sim::{EventQueue, Rng, Summary, VirtualDuration, VirtualTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted_and_stable(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(VirtualTime::from_ns(t), i);
+        }
+        let mut prev: Option<(VirtualTime, usize)> = None;
+        while let Some((t, id)) = q.pop() {
+            if let Some((pt, pid)) = prev {
+                prop_assert!(pt <= t, "time order violated");
+                if pt == t {
+                    prop_assert!(pid < id, "FIFO tie-break violated");
+                }
+            }
+            prev = Some((t, id));
+        }
+    }
+
+    #[test]
+    fn event_queue_interleaved_operations_keep_order(
+        ops in proptest::collection::vec((0u64..1000, any::<bool>()), 1..300),
+    ) {
+        // Push/pop interleaving must still never return an event earlier
+        // than one already returned.
+        let mut q = EventQueue::new();
+        let mut last = VirtualTime::ZERO;
+        let mut floor = VirtualTime::ZERO;
+        for (t, pop) in ops {
+            if pop {
+                if let Some((time, _)) = q.pop() {
+                    prop_assert!(time >= last);
+                    last = time;
+                    floor = time;
+                }
+            } else {
+                // only schedule in the future of the last pop ("no time travel")
+                q.push(floor + VirtualDuration::from_ns(t), ());
+            }
+        }
+    }
+
+    #[test]
+    fn duration_arithmetic_is_consistent(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let da = VirtualDuration::from_ns(a);
+        let db = VirtualDuration::from_ns(b);
+        prop_assert_eq!(da + db, db + da);
+        prop_assert_eq!((da + db) - db, da);
+        let t = VirtualTime::ZERO + da;
+        prop_assert_eq!(t.since(VirtualTime::ZERO), da);
+        prop_assert_eq!((t + db).since(t), db);
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible_and_bounded(seed in any::<u64>(), bound in 1u64..10_000) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        for _ in 0..50 {
+            let x = a.gen_range(bound);
+            prop_assert_eq!(x, b.gen_range(bound));
+            prop_assert!(x < bound);
+        }
+    }
+
+    #[test]
+    fn summary_bounds_hold(samples in proptest::collection::vec(-1.0e6f64..1.0e6, 1..100)) {
+        let s = Summary::of(&samples);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.stddev >= 0.0);
+        prop_assert_eq!(s.n, samples.len());
+    }
+}

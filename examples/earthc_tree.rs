@@ -1,0 +1,83 @@
+//! The EARTH-C programming model (paper §2): write tree-parallel code at
+//! an abstract level and let the library lower it onto threads, sync
+//! slots and tokens — plus the runtime's execution-trace timeline.
+//!
+//! ```text
+//! cargo run --release --example earthc_tree
+//! ```
+
+use earth_manna::machine::MachineConfig;
+use earth_manna::rt::earthc::{run_tree_on, Expansion, TreeTask};
+use earth_manna::rt::{ArgsReader, ArgsWriter, Ctx, Runtime};
+use earth_manna::sim::VirtualDuration;
+
+/// Count the integer points under a parabola by recursive interval
+/// splitting — a stand-in for any divide-and-conquer computation.
+struct CountUnder {
+    lo: u64,
+    hi: u64,
+}
+
+impl TreeTask for CountUnder {
+    type Output = u64;
+
+    fn expand(&mut self, ctx: &mut Ctx<'_>) -> Expansion<Self> {
+        ctx.compute(VirtualDuration::from_us(40));
+        if self.hi - self.lo <= 64 {
+            // leaf: count directly (charge per element)
+            ctx.compute(VirtualDuration::from_ns(200 * (self.hi - self.lo)));
+            let count = (self.lo..self.hi)
+                .map(|x| (x * x) % 1000)
+                .filter(|&y| y < 500)
+                .count() as u64;
+            Expansion::Leaf(count)
+        } else {
+            let mid = (self.lo + self.hi) / 2;
+            Expansion::Children(vec![
+                CountUnder { lo: self.lo, hi: mid },
+                CountUnder { lo: mid, hi: self.hi },
+            ])
+        }
+    }
+
+    fn combine(&mut self, ctx: &mut Ctx<'_>, results: Vec<u64>) -> u64 {
+        ctx.compute(VirtualDuration::from_us(2));
+        results.into_iter().sum()
+    }
+
+    fn encode(&self, w: &mut ArgsWriter) {
+        w.u64(self.lo).u64(self.hi);
+    }
+    fn decode(r: &mut ArgsReader<'_>) -> Self {
+        CountUnder {
+            lo: r.u64(),
+            hi: r.u64(),
+        }
+    }
+    fn encode_output(out: &u64, w: &mut ArgsWriter) {
+        w.u64(*out);
+    }
+    fn decode_output(r: &mut ArgsReader<'_>) -> u64 {
+        r.u64()
+    }
+}
+
+fn main() {
+    let nodes = 8;
+    let mut rt = Runtime::new(MachineConfig::manna(nodes), 3);
+    rt.enable_trace();
+    let (count, report) = run_tree_on(&mut rt, CountUnder { lo: 0, hi: 20_000 });
+    let trace = rt.take_trace();
+
+    // Reference check.
+    let want = (0u64..20_000)
+        .map(|x| (x * x) % 1000)
+        .filter(|&y| y < 500)
+        .count() as u64;
+    assert_eq!(count, want);
+
+    println!("count = {count} (verified)");
+    println!("{report}");
+    println!("execution timeline ('t' = task, '.' = polling, 's' = stealing):");
+    print!("{}", trace.timeline(nodes, 100));
+}

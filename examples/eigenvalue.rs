@@ -1,0 +1,49 @@
+//! The Eigenvalue application (paper §3.1) end to end: characterize the
+//! search tree (Table 1) and sweep the machine size (Figure 2).
+//!
+//! ```text
+//! cargo run --release --example eigenvalue [n] [nodes]
+//! ```
+
+use earth_manna::apps::eigen::{run_eigen, FetchMode};
+use earth_manna::linalg::bisect::bisect_all;
+use earth_manna::linalg::cost::sequential_runtime;
+use earth_manna::linalg::SymTridiagonal;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
+    let max_nodes: u16 = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let tol = 1e-5;
+
+    let matrix = SymTridiagonal::random_clustered(n, 6, 1997);
+    let (eigenvalues, stats) = bisect_all(&matrix, tol);
+    let seq = sequential_runtime(&stats, n);
+
+    println!("matrix: {n}x{n} symmetric tridiagonal, clustered spectrum");
+    println!("sequential bisection: {} over {} search tasks", seq, stats.tasks);
+    println!(
+        "leaf depths {}..{}; {} eigenvalues in [{:.3}, {:.3}]",
+        stats.min_leaf_depth,
+        stats.max_leaf_depth,
+        eigenvalues.len(),
+        eigenvalues.first().unwrap(),
+        eigenvalues.last().unwrap()
+    );
+    println!();
+    println!("nodes  speedup(individual)  speedup(blockmove)  messages");
+    let mut nodes = 1u16;
+    while nodes <= max_nodes {
+        let ind = run_eigen(&matrix, tol, nodes, 42, FetchMode::Individual);
+        let blk = run_eigen(&matrix, tol, nodes, 42, FetchMode::Block);
+        assert_eq!(ind.eigenvalues.len(), n);
+        assert_eq!(blk.eigenvalues.len(), n);
+        println!(
+            "{nodes:5}  {:19.2}  {:18.2}  {:8}",
+            seq.as_us_f64() / ind.elapsed.as_us_f64(),
+            seq.as_us_f64() / blk.elapsed.as_us_f64(),
+            blk.report.net_messages
+        );
+        nodes *= 2;
+    }
+}

@@ -1,0 +1,60 @@
+//! The neural-network application (paper §3.3): unit-parallel training
+//! of a 3-layer feedforward net, with the tree-vs-sequential broadcast
+//! ablation.
+//!
+//! ```text
+//! cargo run --release --example neural_network [units] [nodes]
+//! ```
+
+use earth_manna::apps::neural::{run_neural, CommsShape, PassMode};
+use earth_manna::nn::cost::{sequential_forward, sequential_forward_backward};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let units: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(80);
+    let max_nodes: u16 = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let samples = 3;
+
+    let fwd_seq = sequential_forward(units);
+    let fb_seq = sequential_forward_backward(units);
+    println!("{units} units/layer, 3 layers, full linkage");
+    println!("sequential per-sample: forward {fwd_seq}, forward+backward {fb_seq}");
+    println!();
+    println!("nodes  fwd-speedup  fwd-time     fwd+bwd-speedup  fwd+bwd-time");
+
+    let mut nodes = 1u16;
+    while nodes <= max_nodes {
+        let fwd = run_neural(units, nodes, samples, 7, PassMode::Forward, CommsShape::Tree);
+        let fb = run_neural(
+            units,
+            nodes,
+            samples,
+            7,
+            PassMode::ForwardBackward,
+            CommsShape::Tree,
+        );
+        println!(
+            "{nodes:5}  {:11.2}  {:>9}    {:15.2}  {:>9}",
+            fwd_seq.as_us_f64() / fwd.per_sample.as_us_f64(),
+            format!("{}", fwd.per_sample),
+            fb_seq.as_us_f64() / fb.per_sample.as_us_f64(),
+            format!("{}", fb.per_sample),
+        );
+        nodes *= 2;
+    }
+
+    println!();
+    println!("communication-shape ablation at {max_nodes} nodes (paper: tree lifted");
+    println!("the 80-unit maximum speedup from 8 to 12):");
+    for (label, shape) in [
+        ("sequential sends", CommsShape::Sequential),
+        ("tree forwarding ", CommsShape::Tree),
+    ] {
+        let run = run_neural(units, max_nodes, samples, 7, PassMode::Forward, shape);
+        println!(
+            "  {label}: per-sample {}  (speedup {:.2})",
+            run.per_sample,
+            fwd_seq.as_us_f64() / run.per_sample.as_us_f64()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Extension search workloads (§3.1's other EARTH-MANNA successes): TSP
+//! branch-and-bound (watch for superlinear speedups!) and self-avoiding
+//! walk enumeration (the Protein Folding miniature).
+//!
+//! ```text
+//! cargo run --release --example search_workloads
+//! ```
+
+use earth_manna::apps::search::{saw, tsp};
+
+fn main() {
+    // --- TSP ---------------------------------------------------------
+    let cities = 11;
+    let d = tsp::Distances::random(cities, 7);
+    let seq = tsp::solve_sequential(&d);
+    println!("TSP, {cities} cities: optimal tour {}", seq.best);
+    println!("sequential expanded {} search nodes", seq.expanded);
+    println!();
+    println!("nodes  speedup   expanded   (sequential expanded = {})", seq.expanded);
+    let seq_time = tsp::node_cost().times(seq.expanded);
+    for nodes in [1u16, 2, 4, 8, 16] {
+        let run = tsp::solve_parallel(&d, nodes, 3);
+        assert_eq!(run.best, seq.best, "optimum must not change");
+        println!(
+            "{nodes:5}  {:7.2}  {:9}   {}",
+            seq_time.as_us_f64() / run.elapsed.as_us_f64(),
+            run.expanded,
+            if run.expanded < seq.expanded {
+                "(less work than sequential: early bound propagation)"
+            } else {
+                ""
+            }
+        );
+    }
+
+    // --- Self-avoiding walks ------------------------------------------
+    println!();
+    let steps = 10;
+    println!("self-avoiding walks of length {steps}:");
+    let count = saw::count_sequential(steps);
+    println!("  exact count (sequential): {count}");
+    for nodes in [1u16, 4, 16] {
+        let run = saw::count_parallel(steps, 3, nodes, 5);
+        assert_eq!(run.count, count);
+        println!("  {nodes:2} nodes: {} (virtual)", run.elapsed);
+    }
+}

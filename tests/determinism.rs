@@ -1,0 +1,82 @@
+//! Whole-system determinism: a simulation is a pure function of
+//! (program, configuration, seed). These tests re-run complete
+//! applications and require bit-identical traces — the property the
+//! indeterminism study (20 seeded runs per data point) depends on.
+
+use earth_manna::algebra::buchberger::SelectionStrategy;
+use earth_manna::algebra::inputs::katsura;
+use earth_manna::apps::eigen::{run_eigen, FetchMode};
+use earth_manna::apps::groebner::run_groebner;
+use earth_manna::apps::neural::{run_neural, CommsShape, PassMode};
+use earth_manna::linalg::SymTridiagonal;
+
+#[test]
+fn eigen_trace_is_reproducible() {
+    let m = SymTridiagonal::random_clustered(60, 3, 5);
+    let fingerprint = |seed: u64| {
+        let r = run_eigen(&m, 1e-6, 6, seed, FetchMode::Individual);
+        (
+            r.elapsed,
+            r.report.events,
+            r.report.net_messages,
+            r.report.net_bytes,
+            r.report.total_threads(),
+        )
+    };
+    assert_eq!(fingerprint(7), fingerprint(7));
+    // Different seeds change the schedule (steal victims) but not results.
+    let a = run_eigen(&m, 1e-6, 6, 1, FetchMode::Individual);
+    let b = run_eigen(&m, 1e-6, 6, 2, FetchMode::Individual);
+    assert_eq!(a.eigenvalues, b.eigenvalues);
+}
+
+#[test]
+fn groebner_trace_is_reproducible() {
+    let (ring, input) = katsura(3);
+    let fingerprint = |seed: u64| {
+        let r = run_groebner(&ring, &input, 5, seed, SelectionStrategy::Sugar, None);
+        (r.elapsed, r.pairs_reduced, r.report.events, r.report.net_messages)
+    };
+    assert_eq!(fingerprint(3), fingerprint(3));
+}
+
+#[test]
+fn groebner_seeds_change_work_but_not_meaning() {
+    let (ring, input) = katsura(3);
+    let runs: Vec<_> = (0..6)
+        .map(|s| run_groebner(&ring, &input, 5, s, SelectionStrategy::Sugar, None))
+        .collect();
+    let works: Vec<u64> = runs.iter().map(|r| r.pairs_reduced).collect();
+    assert!(
+        works.iter().any(|&w| w != works[0]),
+        "expected schedule-driven work variation, got {works:?}"
+    );
+    let elapsed: Vec<_> = runs.iter().map(|r| r.elapsed).collect();
+    assert!(
+        elapsed.iter().any(|&e| e != elapsed[0]),
+        "expected runtime variation"
+    );
+}
+
+#[test]
+fn neural_trace_is_reproducible() {
+    let fingerprint = |seed: u64| {
+        let r = run_neural(40, 8, 2, seed, PassMode::ForwardBackward, CommsShape::Tree);
+        (r.elapsed, r.report.events, r.outputs)
+    };
+    assert_eq!(fingerprint(11), fingerprint(11));
+}
+
+#[test]
+fn identical_runs_have_identical_reports() {
+    let m = SymTridiagonal::toeplitz(30, 0.0, 1.0);
+    let a = run_eigen(&m, 1e-7, 4, 5, FetchMode::Block);
+    let b = run_eigen(&m, 1e-7, 4, 5, FetchMode::Block);
+    assert_eq!(a.report.events, b.report.events);
+    assert_eq!(a.report.net_messages, b.report.net_messages);
+    for (x, y) in a.report.nodes.iter().zip(&b.report.nodes) {
+        assert_eq!(x.threads, y.threads);
+        assert_eq!(x.busy, y.busy);
+        assert_eq!(x.tokens_run, y.tokens_run);
+    }
+}

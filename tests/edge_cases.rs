@@ -1,0 +1,154 @@
+//! Edge-case and failure-injection integration tests.
+
+use earth_manna::algebra::buchberger::SelectionStrategy;
+use earth_manna::algebra::inputs::katsura;
+use earth_manna::algebra::poly::Poly;
+use earth_manna::algebra::Ring;
+use earth_manna::apps::eigen::{run_eigen, FetchMode};
+use earth_manna::apps::groebner::run_groebner;
+use earth_manna::apps::neural::{run_neural, CommsShape, PassMode};
+use earth_manna::linalg::SymTridiagonal;
+use earth_manna::machine::{MachineConfig, NodeId};
+use earth_manna::rt::{ArgsWriter, Runtime};
+
+#[test]
+fn more_nodes_than_work_still_terminates() {
+    // 20 machine nodes for a 6x6 matrix: most nodes never see a task.
+    let m = SymTridiagonal::toeplitz(6, 0.0, 1.0);
+    let run = run_eigen(&m, 1e-8, 20, 1, FetchMode::Block);
+    assert_eq!(run.eigenvalues.len(), 6);
+    assert!(run.report.is_clean());
+}
+
+#[test]
+fn neural_with_more_nodes_than_units() {
+    // 12 nodes, 8 units: several nodes own empty slices.
+    let run = run_neural(8, 12, 2, 1, PassMode::ForwardBackward, CommsShape::Tree);
+    assert_eq!(run.outputs.len(), 2);
+    assert!(run.report.is_clean());
+}
+
+#[test]
+fn groebner_with_a_single_input_polynomial() {
+    // No pairs at all: the basis is the input; termination must still fire.
+    let ring = Ring::new(2, earth_manna::algebra::Order::Lex);
+    let p = Poly::from_pairs(&ring, &[(1, &[2, 1]), (3, &[0, 1])]);
+    for nodes in [1u16, 4] {
+        let run =
+            run_groebner(&ring, std::slice::from_ref(&p), nodes, 7, SelectionStrategy::Sugar, None);
+        assert_eq!(run.basis.len(), 1);
+        assert_eq!(run.pairs_reduced, 0);
+    }
+}
+
+#[test]
+fn groebner_many_workers_few_pairs() {
+    // 20 nodes (19 workers) for an input with a handful of pairs: the
+    // ring/starving protocol must not deadlock or livelock.
+    let (ring, input) = katsura(2);
+    let run = run_groebner(&ring, &input, 20, 3, SelectionStrategy::Sugar, None);
+    assert!(earth_manna::algebra::buchberger::is_groebner(&ring, &run.basis));
+}
+
+#[test]
+fn cross_cluster_machines_work() {
+    // 20 nodes spans two 16-node crossbar clusters; traffic crosses the
+    // top-level stage.
+    let m = SymTridiagonal::random_clustered(40, 3, 2);
+    let run = run_eigen(&m, 1e-6, 20, 2, FetchMode::Individual);
+    assert_eq!(run.eigenvalues.len(), 40);
+    // some messages must have crossed the cluster boundary (3 hops);
+    // indirectly visible as nonzero traffic with 20 nodes active
+    assert!(run.report.net_messages > 100);
+}
+
+#[test]
+fn tiny_cluster_size_increases_latency_not_results() {
+    // With cluster_size = 2 every pair of nodes is cross-cluster: all
+    // messages pay 3 hops instead of 1. Timing changes; results don't.
+    use earth_manna::rt::{ArgsWriter as AW, Ctx, ThreadId, ThreadedFn};
+    struct Ping {
+        peer: NodeId,
+        hopcount_probe: bool,
+    }
+    impl ThreadedFn for Ping {
+        fn run(&mut self, ctx: &mut Ctx<'_>, _tid: ThreadId) {
+            if self.hopcount_probe {
+                ctx.sync(earth_manna::rt::SlotRef {
+                    node: self.peer,
+                    frame: earth_manna::rt::FrameId { index: 0, gen: 0 },
+                    slot: earth_manna::rt::SlotId(0),
+                });
+            }
+            ctx.end();
+        }
+    }
+    let elapsed_for = |cluster: u16| {
+        let mut cfg = MachineConfig::manna(8);
+        cfg.cluster_size = cluster;
+        let mut rt = Runtime::new(cfg, 1);
+        let f = rt.register("ping", |_| {
+            Box::new(Ping {
+                peer: NodeId(7),
+                hopcount_probe: true,
+            }) as Box<dyn ThreadedFn>
+        });
+        rt.inject_invoke(NodeId(0), f, AW::new().finish());
+        rt.run().elapsed
+    };
+    let near = elapsed_for(16); // same cluster: 1 hop
+    let far = elapsed_for(2); // cross-cluster: 3 hops
+    assert!(far > near, "3-hop route must cost more ({near} vs {far})");
+}
+
+#[test]
+#[should_panic(expected = "node state has a different type")]
+fn wrong_state_type_is_reported_clearly() {
+    let mut rt = Runtime::new(MachineConfig::manna(1), 1);
+    rt.set_state(NodeId(0), 42u32);
+    let _: &String = rt.state(NodeId(0));
+}
+
+#[test]
+#[should_panic(expected = "machine needs at least one node")]
+fn zero_node_machine_rejected() {
+    let _ = MachineConfig::manna(0);
+}
+
+#[test]
+fn runaway_guard_trips_on_infinite_programs() {
+    use earth_manna::rt::{Ctx, ThreadId, ThreadedFn};
+
+    /// A frame that reschedules itself forever.
+    struct Forever;
+    impl ThreadedFn for Forever {
+        fn run(&mut self, ctx: &mut Ctx<'_>, _tid: ThreadId) {
+            ctx.compute(earth_manna::sim::VirtualDuration::from_us(1));
+            ctx.spawn(ThreadId(0));
+        }
+    }
+    let mut rt = Runtime::new(MachineConfig::manna(1), 1);
+    rt.set_max_events(10_000);
+    let f = rt.register("forever", |_| Box::new(Forever));
+    rt.inject_invoke(NodeId(0), f, ArgsWriter::new().finish());
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rt.run()));
+    assert!(result.is_err(), "runaway guard must fire");
+}
+
+#[test]
+fn jitter_zero_and_nonzero_agree_on_results() {
+    let (ring, input) = katsura(2);
+    let a = run_groebner(&ring, &input, 4, 9, SelectionStrategy::Sugar, None);
+    // (run_groebner always uses 3% jitter internally; different seeds
+    // represent different physical runs)
+    let b = run_groebner(&ring, &input, 4, 10, SelectionStrategy::Sugar, None);
+    use earth_manna::algebra::buchberger::reduce_basis;
+    assert_eq!(reduce_basis(&ring, &a.basis), reduce_basis(&ring, &b.basis));
+}
+
+#[test]
+fn single_sample_neural_run_works() {
+    let run = run_neural(16, 4, 1, 3, PassMode::Forward, CommsShape::Sequential);
+    assert_eq!(run.outputs.len(), 1);
+    assert_eq!(run.per_sample, run.elapsed);
+}

@@ -1,0 +1,183 @@
+//! Property-based integration tests: randomized workloads through the
+//! full simulator stack.
+
+use earth_manna::algebra::buchberger::{
+    buchberger, is_groebner, reduce_basis, SelectionStrategy,
+};
+use earth_manna::algebra::gf::Gf;
+use earth_manna::algebra::inputs::dense_random;
+use earth_manna::algebra::monomial::{Monomial, Order};
+use earth_manna::algebra::poly::{Poly, Ring, Term};
+use earth_manna::algebra::spoly::{normal_form, s_polynomial, Work};
+use earth_manna::apps::eigen::{run_eigen, FetchMode};
+use earth_manna::apps::groebner::run_groebner;
+use earth_manna::linalg::bisect::bisect_all;
+use earth_manna::linalg::sturm::negcount;
+use earth_manna::linalg::SymTridiagonal;
+use proptest::prelude::*;
+
+fn arb_matrix() -> impl Strategy<Value = SymTridiagonal> {
+    (
+        proptest::collection::vec(-20.0f64..20.0, 4..24),
+        any::<u64>(),
+    )
+        .prop_map(|(d, seed)| {
+            let n = d.len();
+            let mut rng = earth_manna::sim::Rng::new(seed);
+            let e = (0..n - 1).map(|_| rng.gen_f64_range(-2.0, 2.0)).collect();
+            SymTridiagonal::new(d, e)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sturm_count_brackets_bisection_results(m in arb_matrix()) {
+        let (ev, _) = bisect_all(&m, 1e-7);
+        prop_assert_eq!(ev.len(), m.n());
+        // Each returned eigenvalue v has at least k+1 eigenvalues below
+        // v + tol and at most k below v - tol.
+        for (k, &v) in ev.iter().enumerate() {
+            prop_assert!(negcount(&m, v + 1e-5) >= k + 1 - excess(&ev, k, v));
+            prop_assert!(negcount(&m, v - 1e-5) <= k + excess(&ev, k, v));
+        }
+    }
+
+    #[test]
+    fn parallel_eigen_matches_sequential_on_random_matrices(
+        m in arb_matrix(),
+        nodes in 1u16..9,
+        seed in any::<u64>(),
+    ) {
+        let tol = 1e-6;
+        let run = run_eigen(&m, tol, nodes, seed, FetchMode::Block);
+        let (seq, _) = bisect_all(&m, tol);
+        prop_assert_eq!(run.eigenvalues.len(), seq.len());
+        for (p, s) in run.eigenvalues.iter().zip(&seq) {
+            prop_assert!((p - s).abs() <= 2.0 * tol);
+        }
+    }
+}
+
+/// Multiplicity slack: identical emitted values may permute freely.
+fn excess(ev: &[f64], k: usize, v: f64) -> usize {
+    ev.iter()
+        .enumerate()
+        .filter(|&(i, &x)| i != k && (x - v).abs() < 2e-5)
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn buchberger_output_is_groebner_for_random_ideals(
+        seed in any::<u64>(),
+        density in 0.2f64..0.7,
+    ) {
+        let (ring, input) = dense_random(3, 2, 2, density, seed);
+        let (basis, _) = buchberger(&ring, &input, SelectionStrategy::Sugar);
+        prop_assert!(is_groebner(&ring, &basis));
+        // every input is in the ideal of the basis
+        let mut w = Work::default();
+        for f in &input {
+            prop_assert!(normal_form(&ring, f, &basis, &mut w).is_zero());
+        }
+    }
+
+    #[test]
+    fn parallel_groebner_matches_sequential_on_random_ideals(
+        seed in any::<u64>(),
+        nodes in 2u16..7,
+    ) {
+        let (ring, input) = dense_random(3, 2, 2, 0.4, seed);
+        let (seq_basis, _) = buchberger(&ring, &input, SelectionStrategy::Sugar);
+        let run = run_groebner(&ring, &input, nodes, seed, SelectionStrategy::Sugar, None);
+        prop_assert_eq!(
+            reduce_basis(&ring, &run.basis),
+            reduce_basis(&ring, &seq_basis)
+        );
+    }
+
+    #[test]
+    fn spoly_of_anything_reduces_to_zero_modulo_its_groebner_basis(
+        seed in any::<u64>(),
+    ) {
+        let (ring, input) = dense_random(3, 2, 2, 0.4, seed);
+        let (basis, _) = buchberger(&ring, &input, SelectionStrategy::Normal);
+        let mut w = Work::default();
+        for i in 0..basis.len() {
+            for j in i + 1..basis.len() {
+                let s = s_polynomial(&ring, &basis[i], &basis[j], &mut w);
+                prop_assert!(normal_form(&ring, &s, &basis, &mut w).is_zero());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn normal_form_is_idempotent(seed in any::<u64>()) {
+        let (ring, polys) = dense_random(3, 3, 2, 0.5, seed);
+        let (basis, rest) = polys.split_at(2);
+        let mut w = Work::default();
+        let nf1 = normal_form(&ring, &rest[0], basis, &mut w);
+        let nf2 = normal_form(&ring, &nf1, basis, &mut w);
+        prop_assert_eq!(nf1, nf2);
+    }
+
+    #[test]
+    fn monic_polynomials_have_unit_lead(seed in any::<u64>()) {
+        let (_, polys) = dense_random(4, 1, 3, 0.5, seed);
+        let m = polys[0].monic();
+        prop_assert_eq!(m.lead().c, Gf::ONE);
+    }
+
+    #[test]
+    fn term_order_is_total_and_consistent(
+        a in proptest::collection::vec(0u16..5, 3),
+        b in proptest::collection::vec(0u16..5, 3),
+    ) {
+        let ring = Ring::new(3, Order::Lex);
+        let ma = Monomial::from_exps(&a);
+        let mb = Monomial::from_exps(&b);
+        let ab = ring.cmp(&ma, &mb);
+        let ba = ring.cmp(&mb, &ma);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == std::cmp::Ordering::Equal {
+            prop_assert_eq!(ma, mb);
+        }
+        // compatibility with multiplication
+        let c = Monomial::from_exps(&[1, 2, 0]);
+        prop_assert_eq!(ring.cmp(&ma.mul(&c), &mb.mul(&c)), ab);
+    }
+
+    #[test]
+    fn poly_addition_is_associative_and_commutative(
+        s1 in any::<u64>(),
+        s2 in any::<u64>(),
+    ) {
+        let ring = Ring::new(3, Order::GRevLex);
+        let gen = |seed: u64| {
+            let mut rng = earth_manna::sim::Rng::new(seed);
+            let terms: Vec<Term> = (0..rng.gen_range(8) + 1)
+                .map(|_| Term {
+                    c: Gf::new(rng.gen_range(32003) as u32),
+                    m: Monomial::from_exps(&[
+                        rng.gen_range(4) as u16,
+                        rng.gen_range(4) as u16,
+                        rng.gen_range(4) as u16,
+                    ]),
+                })
+                .collect();
+            Poly::from_terms(&ring, terms)
+        };
+        let (a, b) = (gen(s1), gen(s2));
+        prop_assert_eq!(a.add(&ring, &b), b.add(&ring, &a));
+        prop_assert!(a.sub(&ring, &a).is_zero());
+        prop_assert_eq!(a.add(&ring, &b).sub(&ring, &b), a);
+    }
+}
