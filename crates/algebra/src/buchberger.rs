@@ -113,9 +113,7 @@ pub fn select_new_pairs(
     skipped_chain: &mut usize,
 ) -> Vec<(usize, Monomial)> {
     let lt_new = leads[new_idx];
-    let cands: Vec<(usize, Monomial)> = (0..new_idx)
-        .map(|i| (i, leads[i].lcm(&lt_new)))
-        .collect();
+    let cands: Vec<(usize, Monomial)> = (0..new_idx).map(|i| (i, leads[i].lcm(&lt_new))).collect();
     let mut keep: Vec<(usize, Monomial)> = Vec::with_capacity(cands.len());
     'cand: for &(i, lcm) in &cands {
         for &(j, other) in &cands {
@@ -162,11 +160,11 @@ pub fn buchberger<C: Field>(
     let mut seq = 0u64;
 
     let push_pairs = |queue: &mut BinaryHeap<Pair>,
-                          basis: &[GenPoly<C>],
-                          sugars: &[u64],
-                          stats: &mut BuchbergerStats,
-                          seq: &mut u64,
-                          new_idx: usize| {
+                      basis: &[GenPoly<C>],
+                      sugars: &[u64],
+                      stats: &mut BuchbergerStats,
+                      seq: &mut u64,
+                      new_idx: usize| {
         let leads: Vec<Monomial> = basis.iter().map(|p| p.lead().m).collect();
         let selected = select_new_pairs(
             &leads,
@@ -300,9 +298,33 @@ mod tests {
     #[test]
     fn inputs_reduce_to_zero_against_basis() {
         let r = grlex(3);
-        let f1 = Poly::from_pairs(&r, &[(1, &[2, 0, 0]), (1, &[0, 1, 0]), (1, &[0, 0, 1]), (-1, &[0, 0, 0])]);
-        let f2 = Poly::from_pairs(&r, &[(1, &[1, 0, 0]), (1, &[0, 2, 0]), (1, &[0, 0, 1]), (-1, &[0, 0, 0])]);
-        let f3 = Poly::from_pairs(&r, &[(1, &[1, 0, 0]), (1, &[0, 1, 0]), (1, &[0, 0, 2]), (-1, &[0, 0, 0])]);
+        let f1 = Poly::from_pairs(
+            &r,
+            &[
+                (1, &[2, 0, 0]),
+                (1, &[0, 1, 0]),
+                (1, &[0, 0, 1]),
+                (-1, &[0, 0, 0]),
+            ],
+        );
+        let f2 = Poly::from_pairs(
+            &r,
+            &[
+                (1, &[1, 0, 0]),
+                (1, &[0, 2, 0]),
+                (1, &[0, 0, 1]),
+                (-1, &[0, 0, 0]),
+            ],
+        );
+        let f3 = Poly::from_pairs(
+            &r,
+            &[
+                (1, &[1, 0, 0]),
+                (1, &[0, 1, 0]),
+                (1, &[0, 0, 2]),
+                (-1, &[0, 0, 0]),
+            ],
+        );
         let input = [f1, f2, f3];
         let (basis, _) = buchberger(&r, &input, SelectionStrategy::Sugar);
         assert!(is_groebner(&r, &basis));
@@ -315,9 +337,33 @@ mod tests {
     #[test]
     fn strategies_agree_on_the_reduced_basis() {
         let r = grlex(3);
-        let f1 = Poly::from_pairs(&r, &[(1, &[2, 0, 0]), (1, &[0, 1, 0]), (1, &[0, 0, 1]), (-1, &[0, 0, 0])]);
-        let f2 = Poly::from_pairs(&r, &[(1, &[1, 0, 0]), (1, &[0, 2, 0]), (1, &[0, 0, 1]), (-1, &[0, 0, 0])]);
-        let f3 = Poly::from_pairs(&r, &[(1, &[1, 0, 0]), (1, &[0, 1, 0]), (1, &[0, 0, 2]), (-1, &[0, 0, 0])]);
+        let f1 = Poly::from_pairs(
+            &r,
+            &[
+                (1, &[2, 0, 0]),
+                (1, &[0, 1, 0]),
+                (1, &[0, 0, 1]),
+                (-1, &[0, 0, 0]),
+            ],
+        );
+        let f2 = Poly::from_pairs(
+            &r,
+            &[
+                (1, &[1, 0, 0]),
+                (1, &[0, 2, 0]),
+                (1, &[0, 0, 1]),
+                (-1, &[0, 0, 0]),
+            ],
+        );
+        let f3 = Poly::from_pairs(
+            &r,
+            &[
+                (1, &[1, 0, 0]),
+                (1, &[0, 1, 0]),
+                (1, &[0, 0, 2]),
+                (-1, &[0, 0, 0]),
+            ],
+        );
         let input = vec![f1, f2, f3];
         let mut reduced: Vec<Vec<Poly>> = Vec::new();
         for s in [

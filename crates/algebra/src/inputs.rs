@@ -132,9 +132,24 @@ pub fn katsura(n: usize) -> (Ring, Vec<Poly>) {
 pub fn lazard() -> (Ring, Vec<Poly>) {
     let ring = Ring::new(3, Order::Lex).with_names(&["x", "y", "z"]);
     let p = |pairs: &[(i64, &[u16])]| Poly::from_pairs(&ring, pairs);
-    let f1 = p(&[(1, &[2, 0, 0]), (1, &[0, 1, 0]), (1, &[0, 0, 1]), (-1, &[0, 0, 0])]);
-    let f2 = p(&[(1, &[1, 0, 0]), (1, &[0, 2, 0]), (1, &[0, 0, 1]), (-1, &[0, 0, 0])]);
-    let f3 = p(&[(1, &[1, 0, 0]), (1, &[0, 1, 0]), (1, &[0, 0, 2]), (-1, &[0, 0, 0])]);
+    let f1 = p(&[
+        (1, &[2, 0, 0]),
+        (1, &[0, 1, 0]),
+        (1, &[0, 0, 1]),
+        (-1, &[0, 0, 0]),
+    ]);
+    let f2 = p(&[
+        (1, &[1, 0, 0]),
+        (1, &[0, 2, 0]),
+        (1, &[0, 0, 1]),
+        (-1, &[0, 0, 0]),
+    ]);
+    let f3 = p(&[
+        (1, &[1, 0, 0]),
+        (1, &[0, 1, 0]),
+        (1, &[0, 0, 2]),
+        (-1, &[0, 0, 0]),
+    ]);
     (ring, vec![f1, f2, f3])
 }
 
@@ -360,15 +375,36 @@ mod field_substitution_tests {
         let ring = Ring::new(3, Order::Lex);
         let q = |pairs: &[(i64, &[u16])]| GenPoly::<Rat>::from_pairs(&ring, pairs);
         let input_q = vec![
-            q(&[(1, &[2, 0, 0]), (1, &[0, 1, 0]), (1, &[0, 0, 1]), (-1, &[0, 0, 0])]),
-            q(&[(1, &[1, 0, 0]), (1, &[0, 2, 0]), (1, &[0, 0, 1]), (-1, &[0, 0, 0])]),
-            q(&[(1, &[1, 0, 0]), (1, &[0, 1, 0]), (1, &[0, 0, 2]), (-1, &[0, 0, 0])]),
+            q(&[
+                (1, &[2, 0, 0]),
+                (1, &[0, 1, 0]),
+                (1, &[0, 0, 1]),
+                (-1, &[0, 0, 0]),
+            ]),
+            q(&[
+                (1, &[1, 0, 0]),
+                (1, &[0, 2, 0]),
+                (1, &[0, 0, 1]),
+                (-1, &[0, 0, 0]),
+            ]),
+            q(&[
+                (1, &[1, 0, 0]),
+                (1, &[0, 1, 0]),
+                (1, &[0, 0, 2]),
+                (-1, &[0, 0, 0]),
+            ]),
         ];
         let (_, input_p) = lazard();
         let (bq, _) = buchberger(&ring, &input_q, SelectionStrategy::Normal);
         let (bp, _) = buchberger(&ring, &input_p, SelectionStrategy::Normal);
-        let lq: Vec<Monomial> = reduce_basis(&ring, &bq).iter().map(|p| p.lead().m).collect();
-        let lp: Vec<Monomial> = reduce_basis(&ring, &bp).iter().map(|p| p.lead().m).collect();
+        let lq: Vec<Monomial> = reduce_basis(&ring, &bq)
+            .iter()
+            .map(|p| p.lead().m)
+            .collect();
+        let lp: Vec<Monomial> = reduce_basis(&ring, &bp)
+            .iter()
+            .map(|p| p.lead().m)
+            .collect();
         assert_eq!(lq, lp);
     }
 }

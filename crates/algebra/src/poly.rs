@@ -236,7 +236,10 @@ impl<C: Field> GenPoly<C> {
             terms: self
                 .terms
                 .iter()
-                .map(|t| GenTerm { c: t.c * inv, m: t.m })
+                .map(|t| GenTerm {
+                    c: t.c * inv,
+                    m: t.m,
+                })
                 .collect(),
         }
     }
@@ -339,12 +342,7 @@ mod tests {
         let a = Poly::from_pairs(&r, &[(3, &[2, 1, 0]), (1, &[1, 0, 2]), (7, &[0, 0, 0])]);
         let shifted = a.mul_term(Gf::new(2), &Monomial::from_exps(&[0, 1, 1]));
         // must equal the from_terms normalization of the same data
-        let expect = Poly::from_terms(
-            &r,
-            shifted
-                .terms()
-                .to_vec(),
-        );
+        let expect = Poly::from_terms(&r, shifted.terms().to_vec());
         assert_eq!(shifted, expect);
     }
 
@@ -383,7 +381,11 @@ mod tests {
             Poly::from_terms(&r, terms)
         };
         for _ in 0..50 {
-            let (a, b, c) = (rand_poly(&mut rng), rand_poly(&mut rng), rand_poly(&mut rng));
+            let (a, b, c) = (
+                rand_poly(&mut rng),
+                rand_poly(&mut rng),
+                rand_poly(&mut rng),
+            );
             assert_eq!(a.add(&r, &b), b.add(&r, &a));
             assert_eq!(a.add(&r, &b).add(&r, &c), a.add(&r, &b.add(&r, &c)));
             assert_eq!(a.mul(&r, &b), b.mul(&r, &a));

@@ -121,10 +121,7 @@ fn orient(a: Vec<u8>, b: Vec<u8>) -> Option<Rule> {
 /// Returns a confluent, terminating rewrite system for the presented
 /// monoid (shortlex always orients, so completion cannot fail, though it
 /// may grow large; `max_rules` bounds runaway presentations).
-pub fn complete(
-    equations: &[(Vec<u8>, Vec<u8>)],
-    max_rules: usize,
-) -> (Vec<Rule>, KbStats) {
+pub fn complete(equations: &[(Vec<u8>, Vec<u8>)], max_rules: usize) -> (Vec<Rule>, KbStats) {
     let mut stats = KbStats::default();
     let mut rules: Vec<Rule> = Vec::new();
     let mut queue: VecDeque<(Vec<u8>, Vec<u8>)> = equations.iter().cloned().collect();
@@ -286,10 +283,7 @@ mod tests {
         ];
         assert!(!is_confluent(&incomplete));
         // and completion fixes it
-        let (rules, _) = complete(
-            &[(w(&[A, B]), w(&[A])), (w(&[B, A]), w(&[B]))],
-            100,
-        );
+        let (rules, _) = complete(&[(w(&[A, B]), w(&[A])), (w(&[B, A]), w(&[B]))], 100);
         assert!(is_confluent(&rules));
     }
 

@@ -42,7 +42,9 @@ pub fn from_bytes(ring: &Ring, bytes: &[u8]) -> Poly {
     let mut terms = Vec::with_capacity(nterms);
     for k in 0..nterms {
         let base = 5 + k * stride;
-        let c = Gf::new(u32::from_le_bytes(bytes[base..base + 4].try_into().unwrap()));
+        let c = Gf::new(u32::from_le_bytes(
+            bytes[base..base + 4].try_into().unwrap(),
+        ));
         let mut e = [0u16; crate::monomial::MAX_VARS];
         for (i, ei) in e.iter_mut().enumerate().take(nvars) {
             let off = base + 4 + 2 * i;

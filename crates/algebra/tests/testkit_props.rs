@@ -1,0 +1,100 @@
+//! Property tests of the algebra substrate, driven by the testkit's
+//! domain generators (monomials and GF(32003) polynomials).
+
+use earth_algebra::{Monomial, Order, Ring};
+use earth_testkit::domain::{monomial, poly_in};
+use earth_testkit::prelude::*;
+
+const NVARS: usize = 4;
+
+fn ring() -> Ring {
+    Ring::new(NVARS, Order::GRevLex)
+}
+
+props! {
+    #![config(Config::with_cases(128))]
+
+    #[test]
+    fn monomial_mul_is_commutative_and_degree_additive(
+        a in monomial(NVARS, 6),
+        b in monomial(NVARS, 6),
+    ) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b).degree(), a.degree() + b.degree());
+    }
+
+    #[test]
+    fn lcm_is_divisible_by_both_factors(
+        a in monomial(NVARS, 6),
+        b in monomial(NVARS, 6),
+    ) {
+        let l = a.lcm(&b);
+        prop_assert!(a.divides(&l));
+        prop_assert!(b.divides(&l));
+        // and it is minimal: dividing out either factor leaves a
+        // monomial the other still reaches
+        prop_assert_eq!(a.mul(&a.div(&l).unwrap()), l.clone());
+        prop_assert_eq!(b.mul(&b.div(&l).unwrap()), l);
+    }
+
+    #[test]
+    fn div_inverts_mul(a in monomial(NVARS, 6), b in monomial(NVARS, 6)) {
+        let ab = a.mul(&b);
+        prop_assert_eq!(a.div(&ab), Some(b.clone()));
+        prop_assert_eq!(b.div(&ab), Some(a));
+    }
+
+    #[test]
+    fn term_order_is_antisymmetric_under_generated_monomials(
+        a in monomial(NVARS, 5),
+        b in monomial(NVARS, 5),
+    ) {
+        let r = ring();
+        prop_assert_eq!(r.cmp(&a, &b), r.cmp(&b, &a).reverse());
+        if r.cmp(&a, &b) == std::cmp::Ordering::Equal {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+props! {
+    #![config(Config::with_cases(64))]
+
+    #[test]
+    fn poly_ring_axioms_hold_for_generated_polys(
+        a in poly_in(&ring(), 6, 3),
+        b in poly_in(&ring(), 6, 3),
+        c in poly_in(&ring(), 6, 3),
+    ) {
+        let r = ring();
+        prop_assert_eq!(a.add(&r, &b), b.add(&r, &a));
+        prop_assert_eq!(a.add(&r, &b).add(&r, &c), a.add(&r, &b.add(&r, &c)));
+        prop_assert!(a.sub(&r, &a).is_zero());
+        prop_assert_eq!(a.add(&r, &b).sub(&r, &b), a.clone());
+        // multiplication distributes over addition
+        prop_assert_eq!(
+            a.mul(&r, &b.add(&r, &c)),
+            a.mul(&r, &b).add(&r, &a.mul(&r, &c))
+        );
+    }
+
+    #[test]
+    fn monic_polys_are_fixed_points_of_monic(p in poly_in(&ring(), 6, 3)) {
+        if p.is_zero() {
+            return Ok(());
+        }
+        let m = p.monic();
+        prop_assert_eq!(m.clone(), m.monic());
+        prop_assert_eq!(m.len(), p.len());
+    }
+
+    #[test]
+    fn generated_monomials_never_exceed_their_variable_window(
+        m in monomial(2, 4),
+    ) {
+        for v in 2..earth_algebra::MAX_VARS {
+            prop_assert_eq!(m.e[v], 0, "exponent outside nvars window");
+        }
+        prop_assert_eq!(m, Monomial::from_exps(&[m.e[0], m.e[1]]));
+    }
+}

@@ -19,8 +19,7 @@ use earth_linalg::cost::{emit_cost, sturm_cost};
 use earth_linalg::SymTridiagonal;
 use earth_machine::{MachineConfig, NodeId};
 use earth_rt::{
-    ArgsReader, ArgsWriter, Ctx, FuncId, GlobalAddr, Runtime, SlotId, SlotRef, ThreadId,
-    ThreadedFn,
+    ArgsReader, ArgsWriter, Ctx, FuncId, GlobalAddr, Runtime, SlotId, SlotRef, ThreadId, ThreadedFn,
 };
 use earth_sim::{VirtualDuration, VirtualTime};
 
@@ -329,10 +328,7 @@ mod tests {
         let (seq, _) = bisect_all(matrix, tol);
         assert_eq!(run.eigenvalues.len(), seq.len());
         for (p, s) in run.eigenvalues.iter().zip(&seq) {
-            assert!(
-                (p - s).abs() <= 2.0 * tol,
-                "parallel {p} vs sequential {s}"
-            );
+            assert!((p - s).abs() <= 2.0 * tol, "parallel {p} vs sequential {s}");
         }
     }
 

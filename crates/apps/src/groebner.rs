@@ -33,9 +33,7 @@ use earth_algebra::poly::{Poly, Ring};
 use earth_algebra::spoly::{normal_form, s_polynomial, Work};
 use earth_algebra::wire;
 use earth_machine::{MachineConfig, NodeId};
-use earth_rt::{
-    ArgsWriter, Ctx, FuncId, Runtime, SlotId, SlotRef, ThreadId, ThreadedFn,
-};
+use earth_rt::{ArgsWriter, Ctx, FuncId, Runtime, SlotId, SlotRef, ThreadId, ThreadedFn};
 use earth_sim::{Rng, VirtualDuration, VirtualTime};
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -344,8 +342,11 @@ impl Worker {
         let (should_request, next) = {
             let st: &GrobNode = ctx.user();
             let me = ctx.node().0;
-            let should =
-                !throttle && !st.requested_work && st.workers > 1 && !st.stop && st.queue.is_empty();
+            let should = !throttle
+                && !st.requested_work
+                && st.workers > 1
+                && !st.stop
+                && st.queue.is_empty();
             (should, NodeId((me + 1) % st.workers))
         };
         if should_request {
@@ -550,8 +551,7 @@ impl ThreadedFn for AddPoly {
                     .collect();
                 let mut skip_p = 0usize;
                 let mut skip_c = 0usize;
-                let selected =
-                    select_new_pairs(&leads, self.id as usize, &mut skip_p, &mut skip_c);
+                let selected = select_new_pairs(&leads, self.id as usize, &mut skip_p, &mut skip_c);
                 // Scatter the fresh pairs over the workers (the paper's
                 // pairs "are created asynchronously and in varying
                 // numbers per node, and are thus subject to dynamic load
@@ -584,12 +584,15 @@ impl ThreadedFn for AddPoly {
                 // More pending inserts? Re-request the lock.
                 if !st.pending_inserts.is_empty() && !st.lock_requested {
                     st.lock_requested = true;
-                    grants.push((u16::MAX, LocalPair {
-                        key: (0, 0),
-                        seq: 0,
-                        i: 0,
-                        j: 0,
-                    })); // sentinel handled below
+                    grants.push((
+                        u16::MAX,
+                        LocalPair {
+                            key: (0, 0),
+                            seq: 0,
+                            i: 0,
+                            j: 0,
+                        },
+                    )); // sentinel handled below
                 }
             }
             (grants, prune_work)
@@ -834,8 +837,7 @@ impl ThreadedFn for Status {
                 det.parked[w] = self.parked;
                 det.created[w] = self.created;
                 det.consumed[w] = self.consumed;
-                let balanced = det.created.iter().sum::<u64>()
-                    == det.consumed.iter().sum::<u64>();
+                let balanced = det.created.iter().sum::<u64>() == det.consumed.iter().sum::<u64>();
                 let all_parked = det.parked.iter().all(|&p| p);
                 if balanced && all_parked && det.acks == 0 {
                     det.round += 1;
@@ -944,8 +946,8 @@ impl ThreadedFn for ProbeAck {
                 if det.acks > 0 {
                     Outcome::Nothing
                 } else {
-                    let balanced = det.created.iter().sum::<u64>()
-                        == det.consumed.iter().sum::<u64>();
+                    let balanced =
+                        det.created.iter().sum::<u64>() == det.consumed.iter().sum::<u64>();
                     if det.round_ok && balanced && det.lock_free {
                         let vector = (det.created.clone(), det.consumed.clone());
                         if det.last_vector.as_ref() == Some(&vector) {
@@ -972,8 +974,8 @@ impl ThreadedFn for ProbeAck {
                         det.last_vector = None;
                         det.confirmations = 0;
                         let all_parked = det.parked.iter().all(|&p| p);
-                        let balanced = det.created.iter().sum::<u64>()
-                            == det.consumed.iter().sum::<u64>();
+                        let balanced =
+                            det.created.iter().sum::<u64>() == det.consumed.iter().sum::<u64>();
                         if all_parked && balanced {
                             det.round += 1;
                             det.acks = workers as usize + 1;
@@ -1342,8 +1344,7 @@ mod tests {
             .collect();
         // The intrinsic indeterminism: not all runs do identical work.
         assert!(
-            runs.iter().any(|&r| r != runs[0])
-                || runs.len() < 2,
+            runs.iter().any(|&r| r != runs[0]) || runs.len() < 2,
             "expected work variation across seeds, got {runs:?}"
         );
     }

@@ -29,8 +29,7 @@ use earth_nn::cost::{backward_slice_cost, error_calc_cost, forward_slice_cost};
 use earth_nn::net::{sigmoid_prime, Mlp};
 use earth_nn::slice::{partition, UnitRange};
 use earth_rt::{
-    ArgsReader, ArgsWriter, Ctx, FuncId, GlobalAddr, Runtime, SlotId, SlotRef, ThreadId,
-    ThreadedFn,
+    ArgsReader, ArgsWriter, Ctx, FuncId, GlobalAddr, Runtime, SlotId, SlotRef, ThreadId, ThreadedFn,
 };
 use earth_sim::{Rng, VirtualDuration, VirtualTime};
 

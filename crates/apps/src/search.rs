@@ -171,7 +171,14 @@ pub mod tsp {
                 let before = st.best;
                 let mut best = st.best;
                 let mut expanded = 0;
-                expand(&st.d, &mut path, &mut visited, self.cost, &mut best, &mut expanded);
+                expand(
+                    &st.d,
+                    &mut path,
+                    &mut visited,
+                    self.cost,
+                    &mut best,
+                    &mut expanded,
+                );
                 st.expanded += expanded;
                 let improved = (best < before).then_some(best);
                 if let Some(b) = improved {
@@ -421,8 +428,11 @@ pub mod saw {
                     }
                     if self.split == 0 {
                         // Sequential tail: enumerate locally.
-                        let mut occupied: Vec<(i32, i32)> =
-                            self.path.iter().map(|&(a, b)| (a as i32, b as i32)).collect();
+                        let mut occupied: Vec<(i32, i32)> = self
+                            .path
+                            .iter()
+                            .map(|&(a, b)| (a as i32, b as i32))
+                            .collect();
                         let mut sites = 0u64;
                         let count = {
                             fn rec(
@@ -634,12 +644,7 @@ mod tests {
         // brute force
         let mut perm: Vec<usize> = (1..7).collect();
         let mut best = u32::MAX;
-        fn permute(
-            d: &tsp::Distances,
-            perm: &mut Vec<usize>,
-            k: usize,
-            best: &mut u32,
-        ) {
+        fn permute(d: &tsp::Distances, perm: &mut Vec<usize>, k: usize, best: &mut u32) {
             if k == perm.len() {
                 let mut cost = d.dist(0, perm[0]);
                 for w in perm.windows(2) {
@@ -827,7 +832,9 @@ pub mod paraffins {
 
     impl ThreadedFn for Record {
         fn run(&mut self, ctx: &mut Ctx<'_>, _tid: ThreadId) {
-            ctx.user_mut::<ParState>().results.push((self.size, self.count));
+            ctx.user_mut::<ParState>()
+                .results
+                .push((self.size, self.count));
             ctx.end();
         }
     }
@@ -933,9 +940,7 @@ mod paraffins_tests {
     #[test]
     fn isomer_counts_match_oeis_a000602() {
         // Alkane isomer counts: methane..tetradecane.
-        let want = [
-            1u64, 1, 1, 2, 3, 5, 9, 18, 35, 75, 159, 355, 802, 1858,
-        ];
+        let want = [1u64, 1, 1, 2, 3, 5, 9, 18, 35, 75, 159, 355, 802, 1858];
         let got = paraffins::count_sequential(14);
         assert_eq!(got, want);
     }

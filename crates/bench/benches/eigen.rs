@@ -1,14 +1,14 @@
 //! Benchmarks regenerating Table 1 and Figure 2 (Eigenvalue).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use earth_apps::eigen::{run_eigen, FetchMode};
 use earth_bench::{eigen_matrix, eigen_tol, Scale};
 use earth_linalg::bisect::bisect_all;
 use earth_linalg::sturm::negcount;
+use earth_testkit::bench::Bench;
 
 /// Table 1 substrate: the Sturm count (the unit of work) and the full
 /// sequential bisection characterization.
-fn bench_table1(c: &mut Criterion) {
+fn bench_table1(c: &mut Bench) {
     let m = eigen_matrix(Scale::Quick);
     let mut g = c.benchmark_group("table1");
     g.bench_function("sturm_negcount_120", |b| {
@@ -19,7 +19,7 @@ fn bench_table1(c: &mut Criterion) {
 }
 
 /// Figure 2: the parallel runs, both argument-fetch variants.
-fn bench_fig2(c: &mut Criterion) {
+fn bench_fig2(c: &mut Bench) {
     let m = eigen_matrix(Scale::Quick);
     let tol = eigen_tol(Scale::Quick);
     let mut g = c.benchmark_group("fig2");
@@ -44,5 +44,4 @@ fn bench_fig2(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_table1, bench_fig2);
-criterion_main!(benches);
+earth_testkit::bench_main!(bench_table1, bench_fig2);

@@ -1,12 +1,12 @@
 //! Benchmarks regenerating Table 2 and Figures 4/5 (Gröbner Basis).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use earth_algebra::buchberger::{buchberger, SelectionStrategy};
 use earth_algebra::inputs::{katsura, lazard_workload};
 use earth_apps::groebner::run_groebner;
+use earth_testkit::bench::Bench;
 
 /// Table 2 substrate: sequential completion of the named inputs.
-fn bench_table2(c: &mut Criterion) {
+fn bench_table2(c: &mut Bench) {
     let mut g = c.benchmark_group("table2");
     g.sample_size(10);
     let (rl, il) = lazard_workload();
@@ -21,7 +21,7 @@ fn bench_table2(c: &mut Criterion) {
 }
 
 /// Figure 4: parallel completion under native EARTH costs.
-fn bench_fig4(c: &mut Criterion) {
+fn bench_fig4(c: &mut Bench) {
     let (ring, input) = katsura(3);
     let mut g = c.benchmark_group("fig4");
     g.sample_size(10);
@@ -34,19 +34,16 @@ fn bench_fig4(c: &mut Criterion) {
 }
 
 /// Figure 5: the message-passing overhead variants.
-fn bench_fig5(c: &mut Criterion) {
+fn bench_fig5(c: &mut Bench) {
     let (ring, input) = katsura(3);
     let mut g = c.benchmark_group("fig5");
     g.sample_size(10);
     for us in [300u64, 1000] {
         g.bench_function(format!("run_groebner_k3_5nodes_mp{us}"), |b| {
-            b.iter(|| {
-                run_groebner(&ring, &input, 5, 1, SelectionStrategy::Sugar, Some(us))
-            })
+            b.iter(|| run_groebner(&ring, &input, 5, 1, SelectionStrategy::Sugar, Some(us)))
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_table2, bench_fig4, bench_fig5);
-criterion_main!(benches);
+earth_testkit::bench_main!(bench_table2, bench_fig4, bench_fig5);

@@ -1,12 +1,12 @@
 //! Benchmarks regenerating Table 3 and Figures 7/8 (neural networks).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use earth_apps::neural::{run_neural, CommsShape, PassMode};
 use earth_nn::net::Mlp;
 use earth_sim::Rng;
+use earth_testkit::bench::Bench;
 
 /// Table 3 substrate: the real f32 forward pass at the paper's sizes.
-fn bench_table3(c: &mut Criterion) {
+fn bench_table3(c: &mut Bench) {
     let mut g = c.benchmark_group("table3");
     for units in [80usize, 200] {
         let net = Mlp::square(units, 1);
@@ -27,7 +27,7 @@ fn bench_table3(c: &mut Criterion) {
 }
 
 /// Figure 7: unit-parallel forward pass on the simulator.
-fn bench_fig7(c: &mut Criterion) {
+fn bench_fig7(c: &mut Bench) {
     let mut g = c.benchmark_group("fig7");
     g.sample_size(10);
     for nodes in [4u16, 16] {
@@ -39,26 +39,17 @@ fn bench_fig7(c: &mut Criterion) {
 }
 
 /// Figure 8: unit-parallel forward+backward.
-fn bench_fig8(c: &mut Criterion) {
+fn bench_fig8(c: &mut Bench) {
     let mut g = c.benchmark_group("fig8");
     g.sample_size(10);
     g.bench_function("run_neural_80u_fwdbwd_16nodes", |b| {
-        b.iter(|| {
-            run_neural(
-                80,
-                16,
-                2,
-                7,
-                PassMode::ForwardBackward,
-                CommsShape::Tree,
-            )
-        })
+        b.iter(|| run_neural(80, 16, 2, 7, PassMode::ForwardBackward, CommsShape::Tree))
     });
     g.finish();
 }
 
 /// The §3.3 communication-shape ablation.
-fn bench_comms_ablation(c: &mut Criterion) {
+fn bench_comms_ablation(c: &mut Bench) {
     let mut g = c.benchmark_group("comms_ablation");
     g.sample_size(10);
     for (label, shape) in [
@@ -72,11 +63,4 @@ fn bench_comms_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_table3,
-    bench_fig7,
-    bench_fig8,
-    bench_comms_ablation
-);
-criterion_main!(benches);
+earth_testkit::bench_main!(bench_table3, bench_fig7, bench_fig8, bench_comms_ablation);

@@ -3,11 +3,11 @@
 //! operations and message passing — the §2 / §4 comparison underpinning
 //! every figure.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use earth_machine::{MachineConfig, NodeId};
 use earth_msgpass::{MpCtx, MpWorld, Process};
 use earth_rt::{ArgsWriter, Ctx, Runtime, SlotId, ThreadId, ThreadedFn};
 use earth_sim::VirtualDuration;
+use earth_testkit::bench::{BatchSize, Bench};
 
 /// Ping-pong over EARTH split-phase stores.
 struct Pinger {
@@ -28,7 +28,10 @@ impl ThreadedFn for Pinger {
                 }
                 self.left -= 1;
                 let mut a = ArgsWriter::new();
-                a.u32(self.rounds).u32(self.left).node(ctx.node()).u32(self.me_fn);
+                a.u32(self.rounds)
+                    .u32(self.left)
+                    .node(ctx.node())
+                    .u32(self.me_fn);
                 ctx.invoke(self.peer, earth_rt::FuncId(self.me_fn), a.finish());
                 ctx.end();
             }
@@ -82,14 +85,10 @@ fn mp_pingpong(rounds: u32, sync_us: u64) -> VirtualDuration {
     w.run().elapsed
 }
 
-fn bench_primitives(c: &mut Criterion) {
+fn bench_primitives(c: &mut Bench) {
     let mut g = c.benchmark_group("primitives");
-    g.bench_function("earth_pingpong_100", |b| {
-        b.iter(|| earth_pingpong(100))
-    });
-    g.bench_function("mp300_pingpong_100", |b| {
-        b.iter(|| mp_pingpong(100, 300))
-    });
+    g.bench_function("earth_pingpong_100", |b| b.iter(|| earth_pingpong(100)));
+    g.bench_function("mp300_pingpong_100", |b| b.iter(|| mp_pingpong(100, 300)));
     g.finish();
 
     // Report the simulated (not host) latency gap once.
@@ -113,7 +112,7 @@ impl ThreadedFn for Burn {
     }
 }
 
-fn bench_load_balancer(c: &mut Criterion) {
+fn bench_load_balancer(c: &mut Bench) {
     let mut g = c.benchmark_group("load_balancer");
     for nodes in [4u16, 16] {
         g.bench_function(format!("steal_256_tokens_{nodes}nodes"), |b| {
@@ -159,18 +158,13 @@ impl ThreadedFn for Getter {
     }
 }
 
-fn bench_split_phase(c: &mut Criterion) {
+fn bench_split_phase(c: &mut Bench) {
     c.bench_function("split_phase_256_gets", |b| {
         b.iter_batched(
             || {
                 let mut rt = Runtime::new(MachineConfig::manna(2), 1);
                 let src = rt.alloc_on(NodeId(1), 8 * 256);
-                let f = rt.register("get", move |a| {
-                    Box::new(Getter {
-                        src,
-                        n: a.u32(),
-                    })
-                });
+                let f = rt.register("get", move |a| Box::new(Getter { src, n: a.u32() }));
                 let mut a = ArgsWriter::new();
                 a.u32(256);
                 rt.inject_invoke(NodeId(0), f, a.finish());
@@ -182,10 +176,4 @@ fn bench_split_phase(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_primitives,
-    bench_load_balancer,
-    bench_split_phase
-);
-criterion_main!(benches);
+earth_testkit::bench_main!(bench_primitives, bench_load_balancer, bench_split_phase);

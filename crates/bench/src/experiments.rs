@@ -7,8 +7,8 @@ use earth_algebra::wire::wire_len;
 use earth_apps::eigen::{run_eigen, FetchMode};
 use earth_apps::groebner::run_groebner;
 use earth_apps::neural::{run_neural, run_neural_on, CommsShape, PassMode};
-use earth_machine::MachineConfig;
 use earth_linalg::bisect::bisect_all;
+use earth_machine::MachineConfig;
 use earth_sim::{Summary, VirtualDuration};
 use std::fmt::Write as _;
 
@@ -45,12 +45,32 @@ impl Table1 {
     /// Paper-style text rendering.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "Table 1: Eigenvalue characteristics ({0}x{0} matrix)", self.n);
-        let _ = writeln!(s, "  problem size (sequential)    {:.0} msec   [paper: 7310]", self.seq.as_ms_f64());
-        let _ = writeln!(s, "  number of tasks created      {}          [paper: 935]", self.tasks);
+        let _ = writeln!(
+            s,
+            "Table 1: Eigenvalue characteristics ({0}x{0} matrix)",
+            self.n
+        );
+        let _ = writeln!(
+            s,
+            "  problem size (sequential)    {:.0} msec   [paper: 7310]",
+            self.seq.as_ms_f64()
+        );
+        let _ = writeln!(
+            s,
+            "  number of tasks created      {}          [paper: 935]",
+            self.tasks
+        );
         let _ = writeln!(s, "  argument size                28 bytes    [paper: 28]");
-        let _ = writeln!(s, "  mean computation per step    {:.2} msec  [paper: 7.82]", self.mean_step.as_ms_f64());
-        let _ = writeln!(s, "  depth of leafs               {} to {}    [paper: 1 to 22]", self.depth.0, self.depth.1);
+        let _ = writeln!(
+            s,
+            "  mean computation per step    {:.2} msec  [paper: 7.82]",
+            self.mean_step.as_ms_f64()
+        );
+        let _ = writeln!(
+            s,
+            "  depth of leafs               {} to {}    [paper: 1 to 22]",
+            self.depth.0, self.depth.1
+        );
         s
     }
 }
@@ -98,8 +118,14 @@ impl Fig2 {
     /// Paper-style text rendering.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "Figure 2: Eigenvalue speedups (paper: close to ideal on 1-20 nodes,");
-        let _ = writeln!(s, "          no significant difference between fetch variants)");
+        let _ = writeln!(
+            s,
+            "Figure 2: Eigenvalue speedups (paper: close to ideal on 1-20 nodes,"
+        );
+        let _ = writeln!(
+            s,
+            "          no significant difference between fetch variants)"
+        );
         let _ = writeln!(s, "  nodes   individual   blockmove   ideal");
         for (i, &n) in self.nodes.iter().enumerate() {
             let _ = writeln!(
@@ -150,8 +176,14 @@ impl Table2 {
     /// Paper-style text rendering.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "Table 2: Groebner Basis characteristics (sequential, total lex order)");
-        let _ = writeln!(s, "  paper:     Lazard 3761ms/141 pairs/27 added/26.7ms/454B");
+        let _ = writeln!(
+            s,
+            "Table 2: Groebner Basis characteristics (sequential, total lex order)"
+        );
+        let _ = writeln!(
+            s,
+            "  paper:     Lazard 3761ms/141 pairs/27 added/26.7ms/454B"
+        );
         let _ = writeln!(s, "             Katsura-4 6373ms/75/15/85ms/439B ; Katsura-5 362750ms/168/26/111.9ms/3243B");
         let _ = writeln!(
             s,
@@ -337,9 +369,7 @@ fn neural_curves(scale: Scale, mode: PassMode, shape: CommsShape) -> Vec<NeuralC
         .map(|units| {
             let seq = match mode {
                 PassMode::Forward => earth_nn::cost::sequential_forward(units),
-                PassMode::ForwardBackward => {
-                    earth_nn::cost::sequential_forward_backward(units)
-                }
+                PassMode::ForwardBackward => earth_nn::cost::sequential_forward_backward(units),
             };
             let results = par_map(nodes.clone(), |n| {
                 let run = run_neural(units, n, samples, 7, mode, shape);
@@ -407,10 +437,17 @@ impl CommsAblation {
     /// Text rendering.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "Comms ablation, 80 units (paper: max speedup 8 sequential -> 12 tree)");
+        let _ = writeln!(
+            s,
+            "Comms ablation, 80 units (paper: max speedup 8 sequential -> 12 tree)"
+        );
         let _ = writeln!(s, "  nodes   sequential   tree");
         for (i, &n) in self.nodes.iter().enumerate() {
-            let _ = writeln!(s, "  {n:5}   {:10.2}   {:4.2}", self.sequential[i], self.tree[i]);
+            let _ = writeln!(
+                s,
+                "  {n:5}   {:10.2}   {:4.2}",
+                self.sequential[i], self.tree[i]
+            );
         }
         s
     }

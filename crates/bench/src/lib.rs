@@ -7,8 +7,8 @@
 //! prints them; EXPERIMENTS.md records paper-vs-measured values.
 //!
 //! Independent simulation runs (different seeds / node counts) are
-//! spread over host threads with `crossbeam` — the simulations
-//! themselves stay single-threaded and deterministic.
+//! spread over host threads with `std::thread::scope` — the
+//! simulations themselves stay single-threaded and deterministic.
 
 pub mod experiments;
 pub mod json;

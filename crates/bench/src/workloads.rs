@@ -1,5 +1,5 @@
 //! Canonical workload definitions shared by the repro harness, the
-//! criterion benches, and the integration tests.
+//! testkit benches, and the integration tests.
 
 use earth_linalg::SymTridiagonal;
 
@@ -86,8 +86,9 @@ pub fn nn_samples(scale: Scale) -> usize {
 /// The paper's "simulated" message-passing overheads (µs, synchronous).
 pub const FIG5_OVERHEADS_US: [u64; 3] = [300, 500, 1000];
 
-/// Run independent jobs over host threads (simulations stay
-/// deterministic; only the host-side sweep is parallel).
+/// Run independent jobs over host threads with `std::thread::scope`
+/// (simulations stay deterministic; only the host-side sweep is
+/// parallel).
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -100,20 +101,22 @@ where
     let n = items.len();
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let jobs: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let jobs = parking_lot::Mutex::new(jobs);
-    let results = parking_lot::Mutex::new(Vec::with_capacity(n));
-    crossbeam::thread::scope(|s| {
+    let jobs = std::sync::Mutex::new(jobs);
+    let results = std::sync::Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
         for _ in 0..threads.min(n.max(1)) {
-            s.spawn(|_| loop {
-                let job = jobs.lock().pop();
+            s.spawn(|| loop {
+                let job = jobs.lock().expect("sweep queue poisoned").pop();
                 let Some((idx, item)) = job else { break };
                 let r = f(item);
-                results.lock().push((idx, r));
+                results
+                    .lock()
+                    .expect("sweep results poisoned")
+                    .push((idx, r));
             });
         }
-    })
-    .expect("sweep worker panicked");
-    for (idx, r) in results.into_inner() {
+    });
+    for (idx, r) in results.into_inner().expect("sweep results poisoned") {
         out[idx] = Some(r);
     }
     out.into_iter().map(|r| r.expect("job completed")).collect()

@@ -26,7 +26,12 @@ pub struct Ctx<'a> {
 }
 
 impl<'a> Ctx<'a> {
-    pub(crate) fn new(rt: &'a mut Runtime, node: NodeId, frame: FrameId, start: VirtualTime) -> Self {
+    pub(crate) fn new(
+        rt: &'a mut Runtime,
+        node: NodeId,
+        frame: FrameId,
+        start: VirtualTime,
+    ) -> Self {
         Ctx {
             rt,
             node,
@@ -123,10 +128,11 @@ impl<'a> Ctx<'a> {
         if slot.node == self.node {
             self.rt.signal_local(self.node, slot);
         } else {
-            self.elapsed += costs.op_send
-                + self.rt.comm_sender_overhead(OpClass::Async, MSG_HEADER);
+            self.elapsed +=
+                costs.op_send + self.rt.comm_sender_overhead(OpClass::Async, MSG_HEADER);
             let at = self.now();
-            self.rt.transmit(at, self.node, slot.node, Msg::SyncSig { slot });
+            self.rt
+                .transmit(at, self.node, slot.node, Msg::SyncSig { slot });
         }
     }
 
@@ -146,7 +152,10 @@ impl<'a> Ctx<'a> {
 
     /// Read this node's local memory (an ordinary load; not charged).
     pub fn read_local(&self, offset: u32, len: u32) -> Vec<u8> {
-        self.rt.nodes[self.node.index()].mem.read(offset, len).to_vec()
+        self.rt.nodes[self.node.index()]
+            .mem
+            .read(offset, len)
+            .to_vec()
     }
 
     /// Write this node's local memory (an ordinary store; not charged).
@@ -161,8 +170,10 @@ impl<'a> Ctx<'a> {
     pub fn get_sync(&mut self, src: GlobalAddr, dst_off: u32, len: u32, slot: SlotId) {
         let costs = self.rt.config().earth;
         let done = self.slot_ref(slot);
-        self.elapsed +=
-            costs.op_send + self.rt.comm_sender_overhead(OpClass::Sync, MSG_HEADER + len);
+        self.elapsed += costs.op_send
+            + self
+                .rt
+                .comm_sender_overhead(OpClass::Sync, MSG_HEADER + len);
         if src.node == self.node {
             // Degenerate local fetch: memcpy + immediate signal.
             let data = self.rt.nodes[self.node.index()]
@@ -193,8 +204,10 @@ impl<'a> Ctx<'a> {
     pub fn data_sync(&mut self, data: &[u8], dst: GlobalAddr, done: Option<SlotRef>) {
         let costs = self.rt.config().earth;
         let len = data.len() as u32;
-        self.elapsed +=
-            costs.op_send + self.rt.comm_sender_overhead(OpClass::Async, MSG_HEADER + len);
+        self.elapsed += costs.op_send
+            + self
+                .rt
+                .comm_sender_overhead(OpClass::Async, MSG_HEADER + len);
         if dst.node == self.node {
             self.rt.nodes[self.node.index()].mem.write(dst.offset, data);
             if let Some(done) = done {
@@ -245,10 +258,13 @@ impl<'a> Ctx<'a> {
         if node == self.node {
             self.elapsed += costs.frame_setup;
             let frame = self.rt.instantiate(node, func, &args);
-            self.rt.nodes[node.index()].ready.push_back((frame, ThreadId(0)));
+            self.rt.nodes[node.index()]
+                .ready
+                .push_back((frame, ThreadId(0)));
         } else {
             let at = self.now();
-            self.rt.transmit(at, self.node, node, Msg::Invoke { func, args });
+            self.rt
+                .transmit(at, self.node, node, Msg::Invoke { func, args });
         }
     }
 

@@ -222,7 +222,9 @@ impl<T: TreeTask> ThreadedFn for Deliver<T> {
     fn run(&mut self, ctx: &mut Ctx<'_>, _tid: ThreadId) {
         let key = mailbox_key(&self.target, self.index);
         let output = self.output.take().expect("delivered once");
-        ctx.user_mut::<TreeState<T::Output>>().mail.push((key, output));
+        ctx.user_mut::<TreeState<T::Output>>()
+            .mail
+            .push((key, output));
         ctx.sync(self.target);
         ctx.end();
     }

@@ -127,7 +127,10 @@ mod tests {
             .op_class(),
             Some(OpClass::Sync)
         );
-        assert_eq!(Msg::SyncSig { slot: slot() }.op_class(), Some(OpClass::Async));
+        assert_eq!(
+            Msg::SyncSig { slot: slot() }.op_class(),
+            Some(OpClass::Async)
+        );
         assert_eq!(Msg::StealNack.op_class(), None);
     }
 }

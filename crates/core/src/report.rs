@@ -57,10 +57,7 @@ pub struct RunReport {
 impl RunReport {
     /// Virtual instant recorded under `label`, if the application marked it.
     pub fn mark(&self, label: &str) -> Option<VirtualTime> {
-        self.marks
-            .iter()
-            .find(|(l, _)| l == label)
-            .map(|&(_, t)| t)
+        self.marks.iter().find(|(l, _)| l == label).map(|&(_, t)| t)
     }
 
     /// Total threads executed across all nodes.

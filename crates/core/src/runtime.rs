@@ -161,8 +161,10 @@ impl Runtime {
 
     /// Inject an invocation at t=0 (the program's `main`).
     pub fn inject_invoke(&mut self, node: NodeId, func: FuncId, args: Box<[u8]>) {
-        self.events
-            .push(VirtualTime::ZERO, Event::Deliver(node, Msg::Invoke { func, args }));
+        self.events.push(
+            VirtualTime::ZERO,
+            Event::Deliver(node, Msg::Invoke { func, args }),
+        );
     }
 
     /// Inject a token at t=0 on node 0; the load balancer spreads it.
@@ -173,8 +175,10 @@ impl Runtime {
     /// Inject a token at t=0 on a specific node.
     pub fn inject_token_on(&mut self, node: NodeId, func: FuncId, args: Box<[u8]>) {
         self.global_tokens += 1;
-        self.events
-            .push(VirtualTime::ZERO, Event::Deliver(node, Msg::Token { func, args }));
+        self.events.push(
+            VirtualTime::ZERO,
+            Event::Deliver(node, Msg::Token { func, args }),
+        );
     }
 
     /// Run to quiescence and report.

@@ -116,7 +116,12 @@ impl Trace {
             }
             let _ = writeln!(out, "n{node:<3} |{}|", String::from_utf8(row).unwrap());
         }
-        let _ = writeln!(out, "      0{:>width$}", format!("{}", end), width = width - 1);
+        let _ = writeln!(
+            out,
+            "      0{:>width$}",
+            format!("{}", end),
+            width = width - 1
+        );
         out
     }
 }

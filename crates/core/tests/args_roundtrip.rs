@@ -3,7 +3,7 @@
 
 use earth_machine::NodeId;
 use earth_rt::{ArgsReader, ArgsWriter, FrameId, GlobalAddr, SlotId, SlotRef};
-use proptest::prelude::*;
+use earth_testkit::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Item {
@@ -29,13 +29,17 @@ fn arb_item() -> impl Strategy<Value = Item> {
         any::<u64>().prop_map(Item::U64),
         any::<i32>().prop_map(Item::I32),
         any::<i64>().prop_map(Item::I64),
-        any::<f64>().prop_filter("finite", |x| x.is_finite()).prop_map(Item::F64),
-        any::<f32>().prop_filter("finite", |x| x.is_finite()).prop_map(Item::F32),
+        any::<f64>()
+            .prop_filter("finite", |x| x.is_finite())
+            .prop_map(Item::F64),
+        any::<f32>()
+            .prop_filter("finite", |x| x.is_finite())
+            .prop_map(Item::F32),
         any::<u16>().prop_map(Item::Node),
         (any::<u16>(), any::<u32>()).prop_map(|(n, o)| Item::Addr(n, o)),
         (any::<u16>(), any::<u32>(), any::<u32>(), any::<u8>())
             .prop_map(|(n, f, g, s)| Item::Slot(n, f, g, s)),
-        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Item::Bytes),
+        collection::vec(any::<u8>(), 0..64).prop_map(Item::Bytes),
     ]
 }
 
@@ -108,9 +112,9 @@ fn check_item(r: &mut ArgsReader<'_>, item: &Item) -> bool {
     }
 }
 
-proptest! {
+props! {
     #[test]
-    fn any_sequence_of_fields_roundtrips(items in proptest::collection::vec(arb_item(), 0..40)) {
+    fn any_sequence_of_fields_roundtrips(items in collection::vec(arb_item(), 0..40)) {
         let mut w = ArgsWriter::new();
         for item in &items {
             write_item(&mut w, item);
@@ -124,7 +128,7 @@ proptest! {
     }
 
     #[test]
-    fn encoded_length_is_deterministic(items in proptest::collection::vec(arb_item(), 0..20)) {
+    fn encoded_length_is_deterministic(items in collection::vec(arb_item(), 0..20)) {
         let encode = || {
             let mut w = ArgsWriter::new();
             for item in &items {

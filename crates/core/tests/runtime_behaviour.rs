@@ -370,7 +370,10 @@ impl ThreadedFn for BadSignaler {
         // test the dropped-signal path: send a sync to a bogus frame.
         let bogus = earth_rt::SlotRef {
             node: NodeId(1),
-            frame: earth_rt::FrameId { index: 999, gen: 42 },
+            frame: earth_rt::FrameId {
+                index: 999,
+                gen: 42,
+            },
             slot: SlotId(0),
         };
         ctx.sync(bogus);
@@ -422,9 +425,7 @@ fn sequential_broadcast_serializes_on_sender_link() {
     // 4 x 100kB from one node: 2ms serialization each => at least 8ms.
     let mut rt = Runtime::new(MachineConfig::manna(5), 4);
     let payload = 100_000u32;
-    let dsts: Vec<GlobalAddr> = (1..5)
-        .map(|i| rt.alloc_on(NodeId(i), payload))
-        .collect();
+    let dsts: Vec<GlobalAddr> = (1..5).map(|i| rt.alloc_on(NodeId(i), payload)).collect();
     let f = {
         let dsts = dsts.clone();
         rt.register("bcast", move |r| {

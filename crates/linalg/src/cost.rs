@@ -47,9 +47,8 @@ mod tests {
         let m = SymTridiagonal::toeplitz(100, -2.0, 1.0);
         let (_, stats) = bisect_all(&m, 1e-6);
         let t = sequential_runtime(&stats, 100);
-        let expect_ms =
-            (stats.tasks - stats.leaves) as f64 * sturm_cost(100).as_ms_f64()
-                + stats.leaves as f64 * emit_cost().as_ms_f64();
+        let expect_ms = (stats.tasks - stats.leaves) as f64 * sturm_cost(100).as_ms_f64()
+            + stats.leaves as f64 * emit_cost().as_ms_f64();
         assert!((t.as_ms_f64() - expect_ms).abs() < 1e-6);
     }
 }

@@ -136,9 +136,8 @@ impl SymTridiagonal {
     /// Deserialize from [`SymTridiagonal::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Self {
         let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
-        let mut read = |i: usize| {
-            f64::from_le_bytes(bytes[4 + 8 * i..12 + 8 * i].try_into().unwrap())
-        };
+        let mut read =
+            |i: usize| f64::from_le_bytes(bytes[4 + 8 * i..12 + 8 * i].try_into().unwrap());
         let d = (0..n).map(&mut read).collect();
         let e = (n..2 * n - 1).map(&mut read).collect();
         SymTridiagonal::new(d, e)

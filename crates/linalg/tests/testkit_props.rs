@@ -1,0 +1,49 @@
+//! Property tests of the bisection substrate over generated symmetric
+//! tridiagonal matrices.
+
+use earth_linalg::{bisect_all, negcount, SymTridiagonal};
+use earth_testkit::prelude::*;
+
+fn arb_matrix() -> impl Strategy<Value = SymTridiagonal> {
+    earth_testkit::domain::sym_tridiagonal(2..20, -10.0..10.0, -3.0..3.0)
+}
+
+props! {
+    #![config(Config::with_cases(48))]
+
+    #[test]
+    fn negcount_is_monotone_in_the_shift(
+        m in arb_matrix(),
+        x in -60.0f64..60.0,
+        dx in 0.0f64..30.0,
+    ) {
+        // negcount(x) counts eigenvalues below x: it can only grow as
+        // the shift moves right, and it is bounded by the dimension.
+        let lo = negcount(&m, x);
+        let hi = negcount(&m, x + dx);
+        prop_assert!(lo <= hi, "negcount decreased: {lo} > {hi}");
+        prop_assert!(hi <= m.n());
+    }
+
+    #[test]
+    fn gershgorin_interval_contains_the_whole_spectrum(m in arb_matrix()) {
+        let (lo, hi) = m.gershgorin();
+        prop_assert_eq!(negcount(&m, lo), 0, "eigenvalue below Gershgorin lo");
+        prop_assert_eq!(negcount(&m, hi), m.n(), "eigenvalue above Gershgorin hi");
+    }
+
+    #[test]
+    fn bisect_all_returns_the_sorted_full_spectrum(m in arb_matrix()) {
+        let tol = 1e-7;
+        let (ev, stats) = bisect_all(&m, tol);
+        prop_assert_eq!(ev.len(), m.n());
+        for w in ev.windows(2) {
+            prop_assert!(w[0] <= w[1] + tol, "spectrum out of order");
+        }
+        let (lo, hi) = m.gershgorin();
+        for &v in &ev {
+            prop_assert!(v >= lo - tol && v <= hi + tol, "{v} outside [{lo},{hi}]");
+        }
+        prop_assert!(stats.tasks >= m.n());
+    }
+}

@@ -247,8 +247,14 @@ mod tests {
     #[test]
     fn earth_model_adds_no_overhead() {
         let c = CommCostModel::Earth;
-        assert_eq!(c.sender_overhead(OpClass::Sync, 4096), VirtualDuration::ZERO);
-        assert_eq!(c.receiver_overhead(OpClass::Async, 4096), VirtualDuration::ZERO);
+        assert_eq!(
+            c.sender_overhead(OpClass::Sync, 4096),
+            VirtualDuration::ZERO
+        );
+        assert_eq!(
+            c.receiver_overhead(OpClass::Async, 4096),
+            VirtualDuration::ZERO
+        );
     }
 
     #[test]
@@ -270,6 +276,9 @@ mod tests {
         let c = CommCostModel::message_passing_us(300);
         let with_bytes = c.sender_overhead(OpClass::Async, 50_000);
         // 50 kB at 50 MB/s = 1 ms copy on top of 150 µs
-        assert!((with_bytes.as_us_f64() - 1150.0).abs() < 1.0, "{with_bytes}");
+        assert!(
+            (with_bytes.as_us_f64() - 1150.0).abs() < 1.0,
+            "{with_bytes}"
+        );
     }
 }

@@ -68,9 +68,8 @@ impl Network {
         if src == dst {
             return now;
         }
-        let serialize = VirtualDuration::from_us_f64(
-            bytes as f64 / self.cfg.link_bytes_per_sec as f64 * 1.0e6,
-        );
+        let serialize =
+            VirtualDuration::from_us_f64(bytes as f64 / self.cfg.link_bytes_per_sec as f64 * 1.0e6);
         let link_free = self.link_free[src.index()];
         let depart = now.max_of(link_free);
         if link_free > now {
@@ -80,8 +79,7 @@ impl Network {
         self.link_free[src.index()] = depart + serialize;
 
         let hops = crate::topology::hops(src, dst, self.cfg.cluster_size) as u64;
-        let mut latency =
-            self.cfg.wire_latency + self.cfg.hop_latency.times(hops) + serialize;
+        let mut latency = self.cfg.wire_latency + self.cfg.hop_latency.times(hops) + serialize;
         if self.cfg.latency_jitter > 0.0 {
             let f = 1.0
                 + self

@@ -304,9 +304,10 @@ impl MpCtx<'_> {
             .send(at, self.rank, dst, data.len() as u32 + ENVELOPE);
         self.world.procs[self.rank.index()].sent += 1;
         // Deliver after the receiver-side sync overhead has elapsed.
-        self.world
-            .events
-            .push(arrive + self.world.costs.sync_overhead, Event::Deliver(dst, env));
+        self.world.events.push(
+            arrive + self.world.costs.sync_overhead,
+            Event::Deliver(dst, env),
+        );
     }
 
     /// Software broadcast down a binary tree rooted at this rank: this
@@ -348,10 +349,7 @@ impl MpCtx<'_> {
 impl MpReport {
     /// Instant recorded under `label`, if any.
     pub fn mark(&self, label: &str) -> Option<VirtualTime> {
-        self.marks
-            .iter()
-            .find(|(l, _)| l == label)
-            .map(|&(_, t)| t)
+        self.marks.iter().find(|(l, _)| l == label).map(|&(_, t)| t)
     }
 }
 
@@ -463,7 +461,9 @@ mod tests {
             w.set_program(NodeId(0), Box::new(OneShot { sync }));
             w.set_program(NodeId(1), Box::new(OneShot { sync }));
             let rep = w.run();
-            rep.mark("recv").map(|t| t.since(VirtualTime::ZERO)).unwrap()
+            rep.mark("recv")
+                .map(|t| t.since(VirtualTime::ZERO))
+                .unwrap()
         };
         let async_t = run(false);
         let sync_t = run(true);
@@ -559,9 +559,6 @@ mod collective_tests {
         let t16 = time(16);
         // tree depth grows by 2 between 4 and 16 ranks, so latency should
         // much less than quadruple
-        assert!(
-            t16.as_us_f64() < 3.0 * t4.as_us_f64(),
-            "t4={t4} t16={t16}"
-        );
+        assert!(t16.as_us_f64() < 3.0 * t4.as_us_f64(), "t4={t4} t16={t16}");
     }
 }

@@ -32,12 +32,7 @@ impl Layer {
         let b = (0..units)
             .map(|_| (rng.gen_f64_range(-0.1, 0.1)) as f32)
             .collect();
-        Layer {
-            units,
-            fanin,
-            w,
-            b,
-        }
+        Layer { units, fanin, w, b }
     }
 
     /// Net input (pre-activation) of `unit` given `input`.

@@ -138,6 +138,9 @@ mod tests {
     #[test]
     fn display_is_compact() {
         let s = Summary::of(&[2.0, 2.0]);
-        assert_eq!(s.to_string(), "mean 2.00 (min 2.00, max 2.00, sd 0.00, n=2)");
+        assert_eq!(
+            s.to_string(),
+            "mean 2.00 (min 2.00, max 2.00, sd 0.00, n=2)"
+        );
     }
 }

@@ -1,11 +1,11 @@
 //! Property tests of the simulation core.
 
 use earth_sim::{EventQueue, Rng, Summary, VirtualDuration, VirtualTime};
-use proptest::prelude::*;
+use earth_testkit::prelude::*;
 
-proptest! {
+props! {
     #[test]
-    fn event_queue_pops_sorted_and_stable(times in proptest::collection::vec(0u64..1000, 1..200)) {
+    fn event_queue_pops_sorted_and_stable(times in collection::vec(0u64..1000, 1..200)) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(VirtualTime::from_ns(t), i);
@@ -23,8 +23,33 @@ proptest! {
     }
 
     #[test]
+    fn event_queue_accepts_generated_schedules(
+        schedule in earth_testkit::domain::event_schedule(1..120, 5_000),
+    ) {
+        // The domain generator's (time, id) pairs drain in time order
+        // with ids FIFO within a timestamp.
+        let mut q = EventQueue::new();
+        for &(t, id) in &schedule {
+            q.push(t, id);
+        }
+        let mut drained = 0usize;
+        let mut prev: Option<(VirtualTime, usize)> = None;
+        while let Some((t, id)) = q.pop() {
+            drained += 1;
+            if let Some((pt, pid)) = prev {
+                prop_assert!(pt <= t);
+                if pt == t {
+                    prop_assert!(pid < id);
+                }
+            }
+            prev = Some((t, id));
+        }
+        prop_assert_eq!(drained, schedule.len());
+    }
+
+    #[test]
     fn event_queue_interleaved_operations_keep_order(
-        ops in proptest::collection::vec((0u64..1000, any::<bool>()), 1..300),
+        ops in collection::vec((0u64..1000, any::<bool>()), 1..300),
     ) {
         // Push/pop interleaving must still never return an event earlier
         // than one already returned.
@@ -68,7 +93,7 @@ proptest! {
     }
 
     #[test]
-    fn summary_bounds_hold(samples in proptest::collection::vec(-1.0e6f64..1.0e6, 1..100)) {
+    fn summary_bounds_hold(samples in collection::vec(-1.0e6f64..1.0e6, 1..100)) {
         let s = Summary::of(&samples);
         prop_assert!(s.min <= s.mean + 1e-9);
         prop_assert!(s.mean <= s.max + 1e-9);

@@ -1,0 +1,138 @@
+//! Domain generators for the workspace's own data types: monomials and
+//! polynomials over GF(32003), symmetric tridiagonal matrices, and
+//! simulation event schedules.
+
+use crate::strategy::{collection, Strategy};
+use earth_algebra::gf::Gf;
+use earth_algebra::monomial::Monomial;
+use earth_algebra::poly::{Poly, Ring, Term};
+use earth_linalg::SymTridiagonal;
+use earth_sim::VirtualTime;
+use std::ops::Range;
+
+/// A monomial in `nvars` variables with exponents in `[0, max_exp]`.
+pub fn monomial(nvars: usize, max_exp: u16) -> impl Strategy<Value = Monomial> {
+    collection::vec(0..max_exp + 1, nvars).prop_map(|exps| Monomial::from_exps(&exps))
+}
+
+/// A (possibly zero) element of GF(32003).
+pub fn gf() -> impl Strategy<Value = Gf> {
+    (0u32..32003).prop_map(Gf::new)
+}
+
+/// A nonzero element of GF(32003) — a valid term coefficient.
+pub fn gf_nonzero() -> impl Strategy<Value = Gf> {
+    (1u32..32003).prop_map(Gf::new)
+}
+
+/// A normalized polynomial in `ring` with up to `max_terms` raw terms
+/// (like terms combine, so the result can be shorter, down to zero)
+/// and exponents in `[0, max_exp]`.
+pub fn poly_in(ring: &Ring, max_terms: usize, max_exp: u16) -> impl Strategy<Value = Poly> {
+    let ring = ring.clone();
+    let nvars = ring.nvars;
+    collection::vec(
+        (1u32..32003, collection::vec(0..max_exp + 1, nvars)),
+        0..max_terms + 1,
+    )
+    .prop_map(move |raw| {
+        let terms: Vec<Term> = raw
+            .into_iter()
+            .map(|(c, exps)| Term {
+                c: Gf::new(c),
+                m: Monomial::from_exps(&exps),
+            })
+            .collect();
+        Poly::from_terms(&ring, terms)
+    })
+}
+
+/// A symmetric tridiagonal matrix with dimension drawn from `n`
+/// (must start at 1 or more), diagonal entries from `diag` and
+/// off-diagonal entries from `off`.
+pub fn sym_tridiagonal(
+    n: Range<usize>,
+    diag: Range<f64>,
+    off: Range<f64>,
+) -> impl Strategy<Value = SymTridiagonal> {
+    assert!(n.start >= 1, "matrix dimension must be at least 1");
+    n.prop_flat_map(move |dim| {
+        (
+            collection::vec(diag.clone(), dim),
+            collection::vec(off.clone(), dim - 1),
+        )
+            .prop_map(|(d, e)| SymTridiagonal::new(d, e))
+    })
+}
+
+/// A simulation event schedule: `(time, id)` pairs with times in
+/// `[0, horizon_ns)` and ids equal to the push order — the shape the
+/// event-queue properties consume.
+pub fn event_schedule(
+    len: impl Into<collection::SizeRange>,
+    horizon_ns: u64,
+) -> impl Strategy<Value = Vec<(VirtualTime, usize)>> {
+    collection::vec(0..horizon_ns, len).prop_map(|times| {
+        times
+            .into_iter()
+            .enumerate()
+            .map(|(id, t)| (VirtualTime::from_ns(t), id))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Source;
+    use earth_algebra::monomial::Order;
+
+    fn gen<S: Strategy>(s: &S, seed: u64) -> S::Value {
+        s.generate(&mut Source::live(seed)).expect("generated")
+    }
+
+    #[test]
+    fn monomials_respect_bounds() {
+        let s = monomial(4, 3);
+        for seed in 0..100 {
+            let m = gen(&s, seed);
+            for v in 0..4 {
+                assert!(m.e[v] <= 3);
+            }
+            assert!(m.e[4..].iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
+    fn polys_are_normalized_in_their_ring() {
+        let ring = Ring::new(3, Order::GRevLex);
+        let s = poly_in(&ring, 6, 3);
+        for seed in 0..100 {
+            let p = gen(&s, seed);
+            if !p.is_zero() {
+                assert_ne!(p.lead().c, Gf::new(0), "lead coefficient must be nonzero");
+            }
+        }
+    }
+
+    #[test]
+    fn tridiagonal_dimensions_match_request() {
+        let s = sym_tridiagonal(2..9, -5.0..5.0, -1.0..1.0);
+        for seed in 0..100 {
+            let m = gen(&s, seed);
+            assert!((2..9).contains(&m.n()));
+        }
+    }
+
+    #[test]
+    fn event_schedules_are_bounded_and_ordered_by_id() {
+        let s = event_schedule(1..50, 1_000);
+        for seed in 0..50 {
+            let evs = gen(&s, seed);
+            for (i, (t, id)) in evs.iter().enumerate() {
+                assert_eq!(*id, i);
+                assert!(*t < VirtualTime::from_ns(1_000));
+            }
+        }
+    }
+}

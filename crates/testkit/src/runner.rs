@@ -1,0 +1,323 @@
+//! The property runner: seeded case generation, failure detection
+//! (including panics in the code under test), greedy stream shrinking,
+//! and reproducing-seed reporting.
+
+use crate::source::Source;
+use crate::strategy::Strategy;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// What a property body returns: `Err` carries the assertion message.
+pub type TestResult = Result<(), String>;
+
+/// Per-property run configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases (proptest's default of 256).
+    pub cases: u32,
+    /// Replay budget for the shrinking search after a failure.
+    pub max_shrink_iters: u32,
+    /// Run seed; `None` derives a stable seed from the property name
+    /// (so offline CI is bit-deterministic) unless `TESTKIT_SEED`
+    /// overrides it.
+    pub seed: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 256,
+            max_shrink_iters: 4096,
+            seed: None,
+        }
+    }
+}
+
+impl Config {
+    /// Default configuration with `cases` generated cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Outcome of [`check`]: either every case passed, or the shrunk
+/// failure with everything needed to reproduce it.
+#[derive(Clone, Debug)]
+pub enum PropOutcome<V> {
+    /// All cases passed (`rejected` streams were filtered out).
+    Pass {
+        /// Cases executed.
+        cases: u32,
+        /// Cases rejected by filters.
+        rejected: u32,
+    },
+    /// A case failed; `minimal` is the shrunk counterexample.
+    Fail {
+        /// Index of the failing case within the run.
+        case_index: u32,
+        /// Seed that regenerates the failing case as case 0.
+        seed: u64,
+        /// The originally generated failing value.
+        original: V,
+        /// The failing value after shrinking.
+        minimal: V,
+        /// Assertion (or panic) message of the minimal case.
+        message: String,
+        /// Accepted shrink steps.
+        shrink_steps: u32,
+    },
+}
+
+fn default_seed(name: &str) -> u64 {
+    // FNV-1a over the property name: stable across runs and platforms,
+    // different per property.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ 0x4541_5254_484B_4954 // "EARTHKIT"
+}
+
+fn env_seed() -> Option<u64> {
+    let raw = std::env::var("TESTKIT_SEED").ok()?;
+    let raw = raw.trim();
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    match parsed {
+        Ok(seed) => Some(seed),
+        Err(_) => panic!("TESTKIT_SEED is not a u64: {raw:?}"),
+    }
+}
+
+fn case_seed(run_seed: u64, case: u32) -> u64 {
+    // case 0 uses the run seed itself, so re-running with
+    // TESTKIT_SEED=<reported seed> reproduces the failure immediately.
+    run_seed.wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn run_case<V, F>(f: &F, value: &V) -> TestResult
+where
+    F: Fn(&V) -> TestResult,
+{
+    match catch_unwind(AssertUnwindSafe(|| f(value))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "test body panicked".to_string());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Replay `words`; `Some((value, message))` iff the stream generates a
+/// value and the property fails on it.
+fn replay_fails<S, F>(strat: &S, f: &F, words: &[u64]) -> Option<(S::Value, String)>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> TestResult,
+{
+    let mut src = Source::replay(words.to_vec());
+    let v = strat.generate(&mut src)?;
+    match run_case(f, &v) {
+        Err(msg) => Some((v, msg)),
+        Ok(()) => None,
+    }
+}
+
+struct Shrinker<'a, S: Strategy, F> {
+    strat: &'a S,
+    f: &'a F,
+    words: Vec<u64>,
+    value: S::Value,
+    message: String,
+    budget: u32,
+    steps: u32,
+}
+
+impl<S, F> Shrinker<'_, S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> TestResult,
+{
+    /// Replay a candidate word list; adopt it if the property still
+    /// fails. Returns whether it was adopted.
+    fn try_adopt(&mut self, candidate: Vec<u64>) -> bool {
+        if self.budget == 0 {
+            return false;
+        }
+        self.budget -= 1;
+        if let Some((v, msg)) = replay_fails(self.strat, self.f, &candidate) {
+            self.words = candidate;
+            self.value = v;
+            self.message = msg;
+            self.steps += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove word chunks (shortens vectors and drops whole draws),
+    /// largest chunks first, scanning from the tail.
+    fn pass_remove_chunks(&mut self) -> bool {
+        for size in [32usize, 16, 8, 4, 2, 1] {
+            let len = self.words.len();
+            if len < size || size == 0 {
+                continue;
+            }
+            for start in (0..=len - size).rev() {
+                let mut candidate = self.words.clone();
+                candidate.drain(start..start + size);
+                if self.try_adopt(candidate) {
+                    return true;
+                }
+                if self.budget == 0 {
+                    return false;
+                }
+            }
+        }
+        false
+    }
+
+    /// Binary-descend each word toward 0 (holding the others fixed).
+    fn pass_minimize_words(&mut self) -> bool {
+        let mut improved = false;
+        for i in 0..self.words.len() {
+            let mut hi = self.words[i];
+            if hi == 0 {
+                continue;
+            }
+            // Fast path: zero it outright.
+            let mut candidate = self.words.clone();
+            candidate[i] = 0;
+            if self.try_adopt(candidate) {
+                improved = true;
+                continue;
+            }
+            let mut lo = 0u64;
+            while lo < hi && self.budget > 0 {
+                let mid = lo + (hi - lo) / 2;
+                if mid == hi {
+                    break;
+                }
+                let mut candidate = self.words.clone();
+                candidate[i] = mid;
+                if self.try_adopt(candidate) {
+                    hi = mid;
+                    improved = true;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            if self.budget == 0 {
+                break;
+            }
+        }
+        improved
+    }
+
+    fn shrink(mut self) -> (S::Value, String, u32) {
+        loop {
+            let removed = self.pass_remove_chunks();
+            let minimized = self.pass_minimize_words();
+            if (!removed && !minimized) || self.budget == 0 {
+                break;
+            }
+        }
+        (self.value, self.message, self.steps)
+    }
+}
+
+/// Run a property over `cfg.cases` generated cases, shrinking the first
+/// failure. Programmatic variant of [`run_prop`]; the testkit's own
+/// tests use it to assert on shrinking behaviour.
+pub fn check<S, F>(name: &str, cfg: &Config, strat: &S, f: F) -> PropOutcome<S::Value>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> TestResult,
+{
+    let run_seed = env_seed()
+        .or(cfg.seed)
+        .unwrap_or_else(|| default_seed(name));
+    let mut rejected: u32 = 0;
+    let max_rejects = cfg.cases.saturating_mul(16).max(1024);
+    let mut case: u32 = 0;
+    let mut executed: u32 = 0;
+    while executed < cfg.cases {
+        let seed = case_seed(run_seed, case);
+        case += 1;
+        let mut src = Source::live(seed);
+        let value = match strat.generate(&mut src) {
+            Some(v) => v,
+            None => {
+                rejected += 1;
+                assert!(
+                    rejected < max_rejects,
+                    "property '{name}': too many filter rejects \
+                     ({rejected} rejects for {executed} cases) — loosen the filter"
+                );
+                continue;
+            }
+        };
+        executed += 1;
+        if let Err(message) = run_case(&f, &value) {
+            let shrinker = Shrinker {
+                strat,
+                f: &f,
+                words: src.into_record(),
+                value: value.clone(),
+                message: message.clone(),
+                budget: cfg.max_shrink_iters,
+                steps: 0,
+            };
+            let (minimal, message, shrink_steps) = shrinker.shrink();
+            return PropOutcome::Fail {
+                case_index: executed - 1,
+                seed,
+                original: value,
+                minimal,
+                message,
+                shrink_steps,
+            };
+        }
+    }
+    PropOutcome::Pass {
+        cases: executed,
+        rejected,
+    }
+}
+
+/// Macro entry point: run the property and panic with a reproducing
+/// seed on failure. Used by [`props!`](crate::props).
+pub fn run_prop<S, F>(name: &str, cfg: &Config, strat: &S, f: F)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> TestResult,
+{
+    if let PropOutcome::Fail {
+        case_index,
+        seed,
+        original,
+        minimal,
+        message,
+        shrink_steps,
+    } = check(name, cfg, strat, f)
+    {
+        panic!(
+            "property '{name}' failed at case {case_index}/{cases}\n\
+             minimal counterexample (after {shrink_steps} shrink steps): {minimal:?}\n\
+             original counterexample: {original:?}\n\
+             failure: {message}\n\
+             reproducing seed: {seed} — rerun with TESTKIT_SEED={seed}",
+            cases = cfg.cases,
+        );
+    }
+}

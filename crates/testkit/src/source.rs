@@ -1,0 +1,106 @@
+//! The choice stream behind every generator.
+//!
+//! A [`Source`] hands out raw `u64` draws. In *live* mode they come from
+//! the workspace's deterministic xoshiro256** PRNG and every draw is
+//! recorded; in *replay* mode they come from a recorded word list (a
+//! possibly-mutated copy of an earlier run). Because strategies consume
+//! the stream identically in both modes, any value a strategy can
+//! produce is reproducible from (seed) or (word list) alone — which is
+//! what makes universal input shrinking possible: the shrinker mutates
+//! the word list, not the typed value.
+
+use earth_sim::Rng;
+
+/// A recordable/replayable stream of `u64` choices.
+pub struct Source {
+    rng: Rng,
+    replay: Option<Vec<u64>>,
+    pos: usize,
+    record: Vec<u64>,
+}
+
+impl Source {
+    /// A live stream seeded from the deterministic PRNG.
+    pub fn live(seed: u64) -> Source {
+        Source {
+            rng: Rng::new(seed),
+            replay: None,
+            pos: 0,
+            record: Vec::new(),
+        }
+    }
+
+    /// A replay stream over a recorded (or mutated) word list. Reads
+    /// past the end yield `0`, the "simplest" draw, so truncating a
+    /// recording is always a legal mutation.
+    pub fn replay(words: Vec<u64>) -> Source {
+        Source {
+            rng: Rng::new(0),
+            replay: Some(words),
+            pos: 0,
+            record: Vec::new(),
+        }
+    }
+
+    /// Next raw choice word.
+    pub fn next_u64(&mut self) -> u64 {
+        let w = match &self.replay {
+            Some(words) => {
+                let w = words.get(self.pos).copied().unwrap_or(0);
+                self.pos += 1;
+                w
+            }
+            None => self.rng.next_u64(),
+        };
+        self.record.push(w);
+        w
+    }
+
+    /// Uniform draw in `[0, bound)`, monotone in the raw word (smaller
+    /// word, smaller value) so that shrinking words shrinks values.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be positive");
+        self.next_u64() % bound
+    }
+
+    /// Draw in `[0, 1)` with 53 bits of precision, monotone in the word.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The words consumed so far (the recording).
+    pub fn into_record(self) -> Vec<u64> {
+        self.record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_streams_are_seed_deterministic() {
+        let mut a = Source::live(7);
+        let mut b = Source::live(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_the_recording() {
+        let mut live = Source::live(3);
+        let drawn: Vec<u64> = (0..20).map(|_| live.next_u64()).collect();
+        let mut replay = Source::replay(live.into_record());
+        let again: Vec<u64> = (0..20).map(|_| replay.next_u64()).collect();
+        assert_eq!(drawn, again);
+    }
+
+    #[test]
+    fn exhausted_replay_yields_zero() {
+        let mut s = Source::replay(vec![5]);
+        assert_eq!(s.next_u64(), 5);
+        assert_eq!(s.next_u64(), 0);
+        assert_eq!(s.next_u64(), 0);
+    }
+}

@@ -1,0 +1,408 @@
+//! Strategies: composable generators over a [`Source`] choice stream.
+//!
+//! A strategy maps raw `u64` draws to typed values. Combinators never
+//! see each other's internals — they only consume the shared stream —
+//! so shrinking (mutating the recorded stream and replaying) works
+//! through `prop_map`, `prop_filter`, `prop_flat_map`, tuples, vectors
+//! and `prop_oneof!` without any per-combinator shrinking code.
+//!
+//! `generate` returns `None` to reject the current stream (a filter
+//! miss, or an exhausted retry budget); the runner counts rejects and
+//! the shrinker simply discards such candidates.
+
+use crate::source::Source;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Retries a `prop_filter` makes before rejecting the whole case.
+const FILTER_RETRIES: usize = 64;
+
+/// A generator of values of type `Self::Value` from a choice stream.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Clone + Debug;
+
+    /// Draw one value, or `None` to reject this stream.
+    fn generate(&self, src: &mut Source) -> Option<Self::Value>;
+
+    /// Transform every generated value.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: Clone + Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`; `name` labels rejects.
+    fn prop_filter<F>(self, name: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            name,
+            pred,
+        }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<T, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        T: Strategy,
+        F: Fn(Self::Value) -> T,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, src: &mut Source) -> Option<Self::Value> {
+        (**self).generate(src)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, src: &mut Source) -> Option<Self::Value> {
+        (**self).generate(src)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _src: &mut Source) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, src: &mut Source) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                Some((self.start as i128 + src.next_below(span) as i128) as $t)
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, src: &mut Source) -> Option<f64> {
+        assert!(self.start < self.end, "empty range strategy");
+        Some(self.start + (self.end - self.start) * src.next_unit_f64())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, src: &mut Source) -> Option<f32> {
+        assert!(self.start < self.end, "empty range strategy");
+        Some(self.start + (self.end - self.start) * src.next_unit_f64() as f32)
+    }
+}
+
+/// The full-domain strategy for a primitive type; see [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Uniform over the whole domain of `T` (`proptest::any` shape). For
+/// floats this is "any bit pattern", so combine with
+/// `prop_filter("finite", |x| x.is_finite())` where NaNs matter.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(PhantomData)
+}
+
+macro_rules! any_uint_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, src: &mut Source) -> Option<$t> {
+                Some(src.next_u64() as $t)
+            }
+        }
+    )+};
+}
+
+any_uint_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! any_int_strategy {
+    ($($t:ty => $u:ty),+) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, src: &mut Source) -> Option<$t> {
+                Some(src.next_u64() as $u as $t)
+            }
+        }
+    )+};
+}
+
+any_int_strategy!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, src: &mut Source) -> Option<bool> {
+        Some(src.next_u64() & 1 == 1)
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, src: &mut Source) -> Option<f64> {
+        Some(f64::from_bits(src.next_u64()))
+    }
+}
+
+impl Strategy for Any<f32> {
+    type Value = f32;
+    fn generate(&self, src: &mut Source) -> Option<f32> {
+        Some(f32::from_bits(src.next_u64() as u32))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Clone + Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, src: &mut Source) -> Option<T> {
+        self.inner.generate(src).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    name: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, src: &mut Source) -> Option<S::Value> {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.generate(src)?;
+            if (self.pred)(&v) {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, src: &mut Source) -> Option<T::Value> {
+        let v = self.inner.generate(src)?;
+        (self.f)(v).generate(src)
+    }
+}
+
+/// Uniform choice among boxed same-typed strategies; built by
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct OneOf<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V: Clone + Debug> OneOf<V> {
+    /// A strategy drawing uniformly from `arms`.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> OneOf<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<V: Clone + Debug> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, src: &mut Source) -> Option<V> {
+        let idx = src.next_below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(src)
+    }
+}
+
+/// Box a strategy for use in a heterogeneous arm list.
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, src: &mut Source) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(src)?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Collection strategies (`collection::vec`, mirroring proptest's path).
+pub mod collection {
+    use super::*;
+
+    /// A vector length specification: one fixed size or a half-open
+    /// range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A vector of `elem` draws with `size` elements (fixed or ranged).
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, src: &mut Source) -> Option<Vec<S::Value>> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + src.next_below(span) as usize;
+            (0..len).map(|_| self.elem.generate(src)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_one<S: Strategy>(s: &S, seed: u64) -> S::Value {
+        s.generate(&mut Source::live(seed)).expect("generated")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut src = Source::live(1);
+        for _ in 0..1000 {
+            let x = (10u64..20).generate(&mut src).unwrap();
+            assert!((10..20).contains(&x));
+            let y = (-5i32..7).generate(&mut src).unwrap();
+            assert!((-5..7).contains(&y));
+            let f = (-2.0f64..2.0).generate(&mut src).unwrap();
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn zero_stream_hits_range_starts() {
+        let mut src = Source::replay(Vec::new());
+        assert_eq!((10u64..20).generate(&mut src), Some(10));
+        assert_eq!((-5i32..7).generate(&mut src), Some(-5));
+        assert_eq!((3usize..9).generate(&mut src), Some(3));
+    }
+
+    #[test]
+    fn map_filter_flat_map_compose() {
+        let s = (0u64..100)
+            .prop_map(|x| x * 2)
+            .prop_filter("nonzero", |&x| x != 0);
+        let mut src = Source::live(9);
+        for _ in 0..200 {
+            let v = s.generate(&mut src).unwrap();
+            assert!(v % 2 == 0 && v != 0 && v < 200);
+        }
+        let dependent = (1usize..5).prop_flat_map(|n| collection::vec(0u64..10, n));
+        for seed in 0..50 {
+            let v = gen_one(&dependent, seed);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn vec_fixed_and_ranged_sizes() {
+        for seed in 0..50 {
+            assert_eq!(gen_one(&collection::vec(0u16..5, 3), seed).len(), 3);
+            let len = gen_one(&collection::vec(0u16..5, 2..7), seed).len();
+            assert!((2..7).contains(&len));
+        }
+    }
+
+    #[test]
+    fn oneof_reaches_every_arm() {
+        let s = OneOf::new(vec![boxed(Just(1u8)), boxed(Just(2u8)), boxed(Just(3u8))]);
+        let mut src = Source::live(4);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut src).unwrap() as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

@@ -1,0 +1,198 @@
+//! The testkit tested with itself: shrinking convergence, seed
+//! determinism, failure reporting, and the `props!` macro end to end.
+
+use earth_testkit::prelude::*;
+use earth_testkit::{check, run_prop, PropOutcome};
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Shrinking a scalar failure converges to the *smallest* failing
+/// value, not just a smaller one.
+#[test]
+fn shrinking_converges_to_minimal_scalar_counterexample() {
+    let cfg = Config::with_cases(64);
+    let outcome = check("minimal_scalar", &cfg, &(0u64..1000), |&v| {
+        if v >= 50 {
+            Err(format!("{v} too big"))
+        } else {
+            Ok(())
+        }
+    });
+    match outcome {
+        PropOutcome::Fail {
+            minimal,
+            original,
+            shrink_steps,
+            ..
+        } => {
+            assert_eq!(minimal, 50, "greedy shrink must reach the boundary");
+            assert!(original >= 50);
+            assert!(shrink_steps > 0 || original == 50);
+        }
+        PropOutcome::Pass { .. } => panic!("a failing predicate must fail"),
+    }
+}
+
+/// Vector failures shrink structurally: dead elements are removed and
+/// the surviving one is minimized, leaving the canonical witness.
+#[test]
+fn shrinking_converges_to_minimal_vec_counterexample() {
+    let cfg = Config::with_cases(64);
+    let strat = collection::vec(0u64..100, 0..10);
+    let outcome = check("minimal_vec", &cfg, &strat, |v: &Vec<u64>| {
+        if v.iter().any(|&x| x >= 10) {
+            Err("contains a big element".to_string())
+        } else {
+            Ok(())
+        }
+    });
+    match outcome {
+        PropOutcome::Fail { minimal, .. } => {
+            assert_eq!(minimal, vec![10], "minimal witness is a single [10]");
+        }
+        PropOutcome::Pass { .. } => panic!("a failing predicate must fail"),
+    }
+}
+
+fn collect_cases(seed: u64, cases: u32) -> Vec<(u64, Vec<u16>)> {
+    let seen = RefCell::new(Vec::new());
+    let cfg = Config {
+        cases,
+        seed: Some(seed),
+        ..Config::default()
+    };
+    let strat = (0u64..1_000_000, collection::vec(0u16..50, 0..8));
+    let outcome = check("collect_cases", &cfg, &strat, |case| {
+        seen.borrow_mut().push(case.clone());
+        Ok(())
+    });
+    assert!(matches!(outcome, PropOutcome::Pass { .. }));
+    seen.into_inner()
+}
+
+/// Identical seed ⇒ identical generated case sequence; different seed
+/// ⇒ a different sequence.
+#[test]
+fn case_sequence_is_a_pure_function_of_the_seed() {
+    let a = collect_cases(0xEA47, 40);
+    let b = collect_cases(0xEA47, 40);
+    assert_eq!(a.len(), 40);
+    assert_eq!(a, b, "same seed must regenerate the same cases");
+    let c = collect_cases(0xEA48, 40);
+    assert_ne!(a, c, "different seeds must explore different cases");
+}
+
+/// The seed reported by a failure regenerates the same original
+/// counterexample as case 0.
+#[test]
+fn reported_seed_reproduces_the_failure() {
+    let cfg = Config::with_cases(256);
+    let failing = |v: &u64| {
+        if *v % 7 == 3 {
+            Err("hit".to_string())
+        } else {
+            Ok(())
+        }
+    };
+    let PropOutcome::Fail { seed, original, .. } =
+        check("reproduce_me", &cfg, &(0u64..100_000), failing)
+    else {
+        panic!("property must fail")
+    };
+    let replay_cfg = Config {
+        cases: 1,
+        seed: Some(seed),
+        ..Config::default()
+    };
+    let PropOutcome::Fail {
+        original: replayed,
+        case_index,
+        ..
+    } = check("reproduce_me", &replay_cfg, &(0u64..100_000), failing)
+    else {
+        panic!("replay must fail")
+    };
+    assert_eq!(case_index, 0, "reported seed reproduces as case 0");
+    assert_eq!(replayed, original);
+}
+
+/// A forced `props!` failure panics with a reproducing-seed line.
+#[test]
+fn forced_failure_prints_a_reproducing_seed() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_prop(
+            "always_fails",
+            &Config::with_cases(8),
+            &(0u64..10),
+            |_: &u64| Err("forced".to_string()),
+        );
+    }));
+    let payload = result.expect_err("run_prop must panic on failure");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic message is a string");
+    assert!(
+        msg.contains("TESTKIT_SEED="),
+        "failure must print a reproducing seed, got:\n{msg}"
+    );
+    assert!(msg.contains("minimal counterexample"));
+    assert!(msg.contains("always_fails"));
+}
+
+/// Panics inside the property body are failures too, and still shrink.
+#[test]
+fn body_panics_are_caught_and_shrunk() {
+    let outcome = check(
+        "panicking_body",
+        &Config::with_cases(64),
+        &(0u64..1000),
+        |&v| {
+            assert!(v < 50, "boom at {v}");
+            Ok(())
+        },
+    );
+    match outcome {
+        PropOutcome::Fail {
+            minimal, message, ..
+        } => {
+            assert_eq!(minimal, 50);
+            assert!(message.contains("panic"), "got: {message}");
+        }
+        PropOutcome::Pass { .. } => panic!("must fail"),
+    }
+}
+
+// The macro surface, exercised the way the workspace suites use it.
+props! {
+    #![config(Config::with_cases(128))]
+
+    #[test]
+    fn props_macro_runs_multi_arg_properties(
+        xs in collection::vec(0i32..100, 1..20),
+        k in 1i32..5,
+        flip in any::<bool>(),
+    ) {
+        let scaled: Vec<i32> = xs.iter().map(|x| x * k).collect();
+        prop_assert_eq!(scaled.len(), xs.len());
+        for (s, x) in scaled.iter().zip(&xs) {
+            prop_assert!(s % k == 0, "{s} not a multiple of {k}");
+            prop_assert_eq!(*s, x * k);
+        }
+        if flip {
+            prop_assert_ne!(k, 0);
+        }
+    }
+
+    #[test]
+    fn props_macro_supports_oneof_and_filter(
+        v in prop_oneof![
+            (0u64..10).prop_map(|x| x * 2),
+            (0u64..10).prop_map(|x| x * 2 + 1),
+        ],
+        f in any::<f64>().prop_filter("finite", |x| x.is_finite()),
+    ) {
+        prop_assert!(v < 20);
+        prop_assert!(f.is_finite());
+    }
+}

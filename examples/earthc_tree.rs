@@ -34,8 +34,14 @@ impl TreeTask for CountUnder {
         } else {
             let mid = (self.lo + self.hi) / 2;
             Expansion::Children(vec![
-                CountUnder { lo: self.lo, hi: mid },
-                CountUnder { lo: mid, hi: self.hi },
+                CountUnder {
+                    lo: self.lo,
+                    hi: mid,
+                },
+                CountUnder {
+                    lo: mid,
+                    hi: self.hi,
+                },
             ])
         }
     }

@@ -21,7 +21,10 @@ fn main() {
     let seq = sequential_runtime(&stats, n);
 
     println!("matrix: {n}x{n} symmetric tridiagonal, clustered spectrum");
-    println!("sequential bisection: {} over {} search tasks", seq, stats.tasks);
+    println!(
+        "sequential bisection: {} over {} search tasks",
+        seq, stats.tasks
+    );
     println!(
         "leaf depths {}..{}; {} eigenvalues in [{:.3}, {:.3}]",
         stats.min_leaf_depth,

@@ -6,9 +6,7 @@
 //! cargo run --release --example groebner [katsura-n] [nodes] [runs]
 //! ```
 
-use earth_manna::algebra::buchberger::{
-    buchberger, is_groebner, reduce_basis, SelectionStrategy,
-};
+use earth_manna::algebra::buchberger::{buchberger, is_groebner, reduce_basis, SelectionStrategy};
 use earth_manna::algebra::cost::sequential_runtime;
 use earth_manna::algebra::inputs::katsura;
 use earth_manna::apps::groebner::run_groebner;
@@ -45,7 +43,10 @@ fn main() {
 
     // Parallel runs: same ideal, varying work (indeterminism).
     println!();
-    println!("parallel on {nodes} nodes ({} workers + termination detector):", nodes - 1);
+    println!(
+        "parallel on {nodes} nodes ({} workers + termination detector):",
+        nodes - 1
+    );
     let mut speedups = Vec::new();
     for seed in 0..runs {
         let run = run_groebner(&ring, &input, nodes, seed, SelectionStrategy::Sugar, None);

@@ -24,7 +24,14 @@ fn main() {
 
     let mut nodes = 1u16;
     while nodes <= max_nodes {
-        let fwd = run_neural(units, nodes, samples, 7, PassMode::Forward, CommsShape::Tree);
+        let fwd = run_neural(
+            units,
+            nodes,
+            samples,
+            7,
+            PassMode::Forward,
+            CommsShape::Tree,
+        );
         let fb = run_neural(
             units,
             nodes,

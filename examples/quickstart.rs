@@ -10,7 +10,9 @@
 //! complete.
 
 use earth_manna::machine::{MachineConfig, NodeId};
-use earth_manna::rt::{ArgsWriter, Ctx, GlobalAddr, Runtime, SlotId, SlotRef, ThreadId, ThreadedFn};
+use earth_manna::rt::{
+    ArgsWriter, Ctx, GlobalAddr, Runtime, SlotId, SlotRef, ThreadId, ThreadedFn,
+};
 use earth_manna::sim::VirtualDuration;
 
 /// The Vadd threaded function of the paper's Figure 1b: fetch elements of

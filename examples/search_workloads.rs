@@ -16,7 +16,10 @@ fn main() {
     println!("TSP, {cities} cities: optimal tour {}", seq.best);
     println!("sequential expanded {} search nodes", seq.expanded);
     println!();
-    println!("nodes  speedup   expanded   (sequential expanded = {})", seq.expanded);
+    println!(
+        "nodes  speedup   expanded   (sequential expanded = {})",
+        seq.expanded
+    );
     let seq_time = tsp::node_cost().times(seq.expanded);
     for nodes in [1u16, 2, 4, 8, 16] {
         let run = tsp::solve_parallel(&d, nodes, 3);

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI gate: everything here must pass with no network access and
+# no crates beyond the workspace itself (std only).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== tests =="
+cargo test -q --offline --workspace
+
+echo "== format =="
+cargo fmt --check
+
+echo "== bench smoke (1 iteration per benchmark) =="
+TESTKIT_BENCH_SMOKE=1 cargo bench --offline --workspace >/dev/null
+
+echo "ci.sh: all green"

@@ -2,9 +2,7 @@
 //! same *result* as its sequential substrate, on a spread of machine
 //! sizes, argument-fetch variants, and cost models.
 
-use earth_manna::algebra::buchberger::{
-    buchberger, is_groebner, reduce_basis, SelectionStrategy,
-};
+use earth_manna::algebra::buchberger::{buchberger, is_groebner, reduce_basis, SelectionStrategy};
 use earth_manna::algebra::inputs::{cyclic, katsura, lazard};
 use earth_manna::apps::eigen::{run_eigen, FetchMode};
 use earth_manna::apps::groebner::run_groebner;
@@ -138,5 +136,30 @@ fn saw_counts_are_schedule_independent() {
     for (nodes, split) in [(1u16, 2u32), (4, 3), (9, 4), (16, 1)] {
         let run = saw::count_parallel(7, split, nodes, nodes as u64);
         assert_eq!(run.count, want, "nodes={nodes} split={split}");
+    }
+}
+
+mod generated_correctness {
+    use super::*;
+    use earth_testkit::prelude::*;
+
+    props! {
+        #![config(Config::with_cases(12))]
+
+        #[test]
+        fn eigen_matches_sequential_for_generated_sizes(
+            n in 6usize..30,
+            nodes in 1u16..9,
+            seed in any::<u64>(),
+        ) {
+            let m = SymTridiagonal::random_clustered(n, 2, seed);
+            let tol = 1e-6;
+            let (seq, _) = bisect_all(&m, tol);
+            let run = run_eigen(&m, tol, nodes, seed, FetchMode::Block);
+            prop_assert_eq!(run.eigenvalues.len(), seq.len());
+            for (p, s) in run.eigenvalues.iter().zip(&seq) {
+                prop_assert!((p - s).abs() <= 2.0 * tol, "{p} vs {s}");
+            }
+        }
     }
 }

@@ -34,8 +34,14 @@ fn groebner_with_a_single_input_polynomial() {
     let ring = Ring::new(2, earth_manna::algebra::Order::Lex);
     let p = Poly::from_pairs(&ring, &[(1, &[2, 1]), (3, &[0, 1])]);
     for nodes in [1u16, 4] {
-        let run =
-            run_groebner(&ring, std::slice::from_ref(&p), nodes, 7, SelectionStrategy::Sugar, None);
+        let run = run_groebner(
+            &ring,
+            std::slice::from_ref(&p),
+            nodes,
+            7,
+            SelectionStrategy::Sugar,
+            None,
+        );
         assert_eq!(run.basis.len(), 1);
         assert_eq!(run.pairs_reduced, 0);
     }
@@ -47,7 +53,9 @@ fn groebner_many_workers_few_pairs() {
     // ring/starving protocol must not deadlock or livelock.
     let (ring, input) = katsura(2);
     let run = run_groebner(&ring, &input, 20, 3, SelectionStrategy::Sugar, None);
-    assert!(earth_manna::algebra::buchberger::is_groebner(&ring, &run.basis));
+    assert!(earth_manna::algebra::buchberger::is_groebner(
+        &ring, &run.basis
+    ));
 }
 
 #[test]
@@ -151,4 +159,27 @@ fn single_sample_neural_run_works() {
     let run = run_neural(16, 4, 1, 3, PassMode::Forward, CommsShape::Sequential);
     assert_eq!(run.outputs.len(), 1);
     assert_eq!(run.per_sample, run.elapsed);
+}
+
+mod generated_edges {
+    use super::*;
+    use earth_testkit::prelude::*;
+
+    props! {
+        #![config(Config::with_cases(16))]
+
+        #[test]
+        fn more_nodes_than_work_terminates_for_any_tiny_matrix(
+            n in 2usize..10,
+            nodes in 1u16..24,
+            seed in any::<u64>(),
+        ) {
+            // Machines arbitrarily larger than the task pool must still
+            // drain and report clean, for every (size, width) combination.
+            let m = SymTridiagonal::toeplitz(n, 0.0, 1.0);
+            let run = run_eigen(&m, 1e-8, nodes, seed, FetchMode::Block);
+            prop_assert_eq!(run.eigenvalues.len(), n);
+            prop_assert!(run.report.is_clean(), "unclean report at n={n} nodes={nodes}");
+        }
+    }
 }

@@ -1,9 +1,7 @@
 //! Property-based integration tests: randomized workloads through the
-//! full simulator stack.
+//! full simulator stack, generated and shrunk by `earth-testkit`.
 
-use earth_manna::algebra::buchberger::{
-    buchberger, is_groebner, reduce_basis, SelectionStrategy,
-};
+use earth_manna::algebra::buchberger::{buchberger, is_groebner, reduce_basis, SelectionStrategy};
 use earth_manna::algebra::gf::Gf;
 use earth_manna::algebra::inputs::dense_random;
 use earth_manna::algebra::monomial::{Monomial, Order};
@@ -14,23 +12,14 @@ use earth_manna::apps::groebner::run_groebner;
 use earth_manna::linalg::bisect::bisect_all;
 use earth_manna::linalg::sturm::negcount;
 use earth_manna::linalg::SymTridiagonal;
-use proptest::prelude::*;
+use earth_testkit::prelude::*;
 
 fn arb_matrix() -> impl Strategy<Value = SymTridiagonal> {
-    (
-        proptest::collection::vec(-20.0f64..20.0, 4..24),
-        any::<u64>(),
-    )
-        .prop_map(|(d, seed)| {
-            let n = d.len();
-            let mut rng = earth_manna::sim::Rng::new(seed);
-            let e = (0..n - 1).map(|_| rng.gen_f64_range(-2.0, 2.0)).collect();
-            SymTridiagonal::new(d, e)
-        })
+    earth_testkit::domain::sym_tridiagonal(4..24, -20.0..20.0, -2.0..2.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+props! {
+    #![config(Config::with_cases(24))]
 
     #[test]
     fn sturm_count_brackets_bisection_results(m in arb_matrix()) {
@@ -68,8 +57,8 @@ fn excess(ev: &[f64], k: usize, v: f64) -> usize {
         .count()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+props! {
+    #![config(Config::with_cases(12))]
 
     #[test]
     fn buchberger_output_is_groebner_for_random_ideals(
@@ -116,8 +105,8 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    #![config(Config::with_cases(64))]
 
     #[test]
     fn normal_form_is_idempotent(seed in any::<u64>()) {
@@ -138,8 +127,8 @@ proptest! {
 
     #[test]
     fn term_order_is_total_and_consistent(
-        a in proptest::collection::vec(0u16..5, 3),
-        b in proptest::collection::vec(0u16..5, 3),
+        a in collection::vec(0u16..5, 3),
+        b in collection::vec(0u16..5, 3),
     ) {
         let ring = Ring::new(3, Order::Lex);
         let ma = Monomial::from_exps(&a);
@@ -179,5 +168,23 @@ proptest! {
         prop_assert_eq!(a.add(&ring, &b), b.add(&ring, &a));
         prop_assert!(a.sub(&ring, &a).is_zero());
         prop_assert_eq!(a.add(&ring, &b).sub(&ring, &b), a);
+    }
+
+    #[test]
+    fn generated_polys_join_the_ideal_of_their_own_basis(
+        seed in any::<u64>(),
+    ) {
+        // Exercises the testkit's domain polynomial generator against
+        // the full Buchberger stack.
+        let ring = Ring::new(3, Order::GRevLex);
+        let p = earth_testkit::domain::poly_in(&ring, 4, 2)
+            .generate(&mut earth_testkit::Source::live(seed));
+        let Some(p) = p else { return Ok(()) };
+        if p.is_zero() {
+            return Ok(());
+        }
+        let (basis, _) = buchberger(&ring, std::slice::from_ref(&p), SelectionStrategy::Sugar);
+        let mut w = Work::default();
+        prop_assert!(normal_form(&ring, &p, &basis, &mut w).is_zero());
     }
 }
