@@ -258,6 +258,8 @@ pub struct EigenRun {
     pub elapsed: VirtualDuration,
     /// The raw runtime report.
     pub report: earth_rt::RunReport,
+    /// earth-profile data (filled by [`run_eigen_profiled`]).
+    pub profile: Option<earth_rt::RunProfile>,
 }
 
 /// Run the parallel bisection eigensolver on `nodes` simulated nodes.
@@ -268,7 +270,33 @@ pub fn run_eigen(
     seed: u64,
     mode: FetchMode,
 ) -> EigenRun {
+    run_eigen_inner(matrix, tol, nodes, seed, mode, false)
+}
+
+/// Like [`run_eigen`] with earth-profile collection on; timing is
+/// identical to the unprofiled run.
+pub fn run_eigen_profiled(
+    matrix: &SymTridiagonal,
+    tol: f64,
+    nodes: u16,
+    seed: u64,
+    mode: FetchMode,
+) -> EigenRun {
+    run_eigen_inner(matrix, tol, nodes, seed, mode, true)
+}
+
+fn run_eigen_inner(
+    matrix: &SymTridiagonal,
+    tol: f64,
+    nodes: u16,
+    seed: u64,
+    mode: FetchMode,
+    profile: bool,
+) -> EigenRun {
     let mut rt = Runtime::new(MachineConfig::manna(nodes), seed);
+    if profile {
+        rt.enable_profile();
+    }
     for node in 0..nodes {
         rt.set_state(
             NodeId(node),
@@ -314,6 +342,7 @@ pub fn run_eigen(
         eigenvalues,
         elapsed: done.since(VirtualTime::ZERO),
         report,
+        profile: profile.then(|| rt.take_profile()),
     }
 }
 

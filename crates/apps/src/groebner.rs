@@ -1018,6 +1018,8 @@ pub struct GroebnerRun {
     pub report: earth_rt::RunReport,
     /// Optional diagnostics (filled by [`run_groebner_diag`]).
     pub diag: Option<String>,
+    /// earth-profile data (filled by [`run_groebner_profiled`]).
+    pub profile: Option<earth_rt::RunProfile>,
 }
 
 /// Like [`run_groebner`] but also returns a human-readable diagnostic
@@ -1030,7 +1032,16 @@ pub fn run_groebner_diag(
     strategy: SelectionStrategy,
     comm_sync_us: Option<u64>,
 ) -> (GroebnerRun, String) {
-    let run = run_groebner_inner(ring, input, nodes, seed, strategy, comm_sync_us, true);
+    let run = run_groebner_inner(
+        ring,
+        input,
+        nodes,
+        seed,
+        strategy,
+        comm_sync_us,
+        true,
+        false,
+    );
     let diag = run.diag.clone().unwrap_or_default();
     (run, diag)
 }
@@ -1045,9 +1056,41 @@ pub fn run_groebner(
     strategy: SelectionStrategy,
     comm_sync_us: Option<u64>,
 ) -> GroebnerRun {
-    run_groebner_inner(ring, input, nodes, seed, strategy, comm_sync_us, false)
+    run_groebner_inner(
+        ring,
+        input,
+        nodes,
+        seed,
+        strategy,
+        comm_sync_us,
+        false,
+        false,
+    )
 }
 
+/// Like [`run_groebner`] with earth-profile collection on; timing is
+/// identical to the unprofiled run.
+pub fn run_groebner_profiled(
+    ring: &Ring,
+    input: &[Poly],
+    nodes: u16,
+    seed: u64,
+    strategy: SelectionStrategy,
+    comm_sync_us: Option<u64>,
+) -> GroebnerRun {
+    run_groebner_inner(
+        ring,
+        input,
+        nodes,
+        seed,
+        strategy,
+        comm_sync_us,
+        false,
+        true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_groebner_inner(
     ring: &Ring,
     input: &[Poly],
@@ -1056,6 +1099,7 @@ fn run_groebner_inner(
     strategy: SelectionStrategy,
     comm_sync_us: Option<u64>,
     want_diag: bool,
+    profile: bool,
 ) -> GroebnerRun {
     assert!(nodes >= 1);
     let workers: u16 = if nodes == 1 { 1 } else { nodes - 1 };
@@ -1066,6 +1110,9 @@ fn run_groebner_inner(
         cfg = cfg.with_message_passing(us);
     }
     let mut rt = Runtime::new(cfg, seed);
+    if profile {
+        rt.enable_profile();
+    }
 
     // Register protocol functions.
     #[allow(clippy::field_reassign_with_default)]
@@ -1275,12 +1322,14 @@ fn run_groebner_inner(
         }
         parts.join(" | ")
     });
+    let profile = profile.then(|| rt.take_profile());
     GroebnerRun {
         basis,
         elapsed: done.since(VirtualTime::ZERO),
         pairs_reduced,
         report,
         diag,
+        profile,
     }
 }
 

@@ -497,6 +497,8 @@ pub struct NeuralRun {
     pub elapsed: VirtualDuration,
     /// Raw runtime report.
     pub report: earth_rt::RunReport,
+    /// earth-profile data (filled by [`run_neural_profiled`]).
+    pub profile: Option<earth_rt::RunProfile>,
 }
 
 /// Run `samples` training samples of a square `units`-wide network over
@@ -537,6 +539,29 @@ pub fn run_neural_shaped(
     )
 }
 
+/// Like [`run_neural`] with earth-profile collection on; timing is
+/// identical to the unprofiled run.
+pub fn run_neural_profiled(
+    units: usize,
+    nodes: u16,
+    samples: usize,
+    seed: u64,
+    mode: PassMode,
+    shape: CommsShape,
+) -> NeuralRun {
+    run_neural_inner(
+        MachineConfig::manna(nodes),
+        units,
+        units,
+        units,
+        samples,
+        seed,
+        mode,
+        shape,
+        true,
+    )
+}
+
 /// Lowest-level entry: run on a caller-supplied machine configuration
 /// (used by the dual-processor and cost-model ablations).
 #[allow(clippy::too_many_arguments)]
@@ -550,9 +575,29 @@ pub fn run_neural_on(
     mode: PassMode,
     shape: CommsShape,
 ) -> NeuralRun {
+    run_neural_inner(
+        cfg, n_in, n_hidden, n_out, samples, seed, mode, shape, false,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_neural_inner(
+    cfg: MachineConfig,
+    n_in: usize,
+    n_hidden: usize,
+    n_out: usize,
+    samples: usize,
+    seed: u64,
+    mode: PassMode,
+    shape: CommsShape,
+    profile: bool,
+) -> NeuralRun {
     assert!(samples >= 1);
     let nodes = cfg.nodes;
     let mut rt = Runtime::new(cfg, seed);
+    if profile {
+        rt.enable_profile();
+    }
     let hidden_ranges = partition(n_hidden, nodes as usize);
     let out_ranges = partition(n_out, nodes as usize);
     let net = Mlp::new(n_in, n_hidden, n_out, seed ^ 0xD1);
@@ -610,11 +655,13 @@ pub fn run_neural_on(
     let done = report.mark("neural-done").expect("run incomplete");
     let elapsed = done.since(VirtualTime::ZERO);
     let outputs = std::mem::take(&mut rt.state_mut::<NeuralState>(NodeId(0)).outputs_log);
+    let profile = profile.then(|| rt.take_profile());
     NeuralRun {
         outputs,
         per_sample: elapsed / samples as u64,
         elapsed,
         report,
+        profile,
     }
 }
 

@@ -1,12 +1,17 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--json] [table1|fig2|table2|fig4|fig5|table3|fig7|fig8|ablation|dual|all]
+//! repro [--quick] [--json] [table1|fig2|table2|fig4|fig5|table3|fig7|fig8|ablation|dual|profile|all]
 //! ```
 //!
 //! `--quick` shrinks matrices and seed counts (same shapes, CI speed).
 //! `--json` emits one machine-readable JSON record per experiment
 //! instead of the text tables.
+//!
+//! `profile` (not part of `all`) runs the earth-profile demo: the
+//! overhead breakdown and utilization timeline for seeded eigenvalue
+//! and Gröbner runs; with `--json` it emits the eigenvalue run's
+//! Chrome-trace-format JSON (load in Perfetto or `chrome://tracing`).
 
 use earth_bench::*;
 
@@ -105,5 +110,11 @@ fn main() {
     }
     if want("dual") {
         println!("{}", dual_check(scale).render());
+    }
+    // Deliberately excluded from `all`: the demo's value is its stable,
+    // seed-exact output, not paper reproduction.
+    if what.contains(&"profile") {
+        let d = profile_demo();
+        println!("{}", if json { d.to_json() } else { d.render() });
     }
 }

@@ -4,8 +4,8 @@ use crate::workloads::*;
 use earth_algebra::buchberger::{buchberger, SelectionStrategy};
 use earth_algebra::inputs::table2_inputs;
 use earth_algebra::wire::wire_len;
-use earth_apps::eigen::{run_eigen, FetchMode};
-use earth_apps::groebner::run_groebner;
+use earth_apps::eigen::{run_eigen, run_eigen_profiled, EigenRun, FetchMode};
+use earth_apps::groebner::{run_groebner, run_groebner_profiled, GroebnerRun};
 use earth_apps::neural::{run_neural, run_neural_on, CommsShape, PassMode};
 use earth_linalg::bisect::bisect_all;
 use earth_machine::MachineConfig;
@@ -553,6 +553,50 @@ impl DualCheck {
     }
 }
 
+/// earth-profile demonstration: the Table-1-style overhead breakdown,
+/// utilization timeline and Chrome-trace export for one seeded
+/// eigenvalue run and one Gröbner run. Deliberately tiny and fixed-seed
+/// (independent of `--quick`) so the output — including the exported
+/// trace JSON — is byte-identical on every invocation.
+pub struct ProfileDemo {
+    /// Profiled eigenvalue run (120×120 quick matrix, 8 nodes, seed 42).
+    pub eigen: EigenRun,
+    /// Profiled Gröbner run (Lazard input, 8 nodes, seed 1).
+    pub groebner: GroebnerRun,
+}
+
+/// Run the earth-profile demo workloads.
+pub fn profile_demo() -> ProfileDemo {
+    let m = eigen_matrix(Scale::Quick);
+    let tol = eigen_tol(Scale::Quick);
+    let eigen = run_eigen_profiled(&m, tol, 8, 42, FetchMode::Block);
+    let (name, ring, input) = table2_inputs().remove(0);
+    debug_assert_eq!(name, "Lazard");
+    let groebner = run_groebner_profiled(&ring, &input, 8, 1, SelectionStrategy::Sugar, None);
+    ProfileDemo { eigen, groebner }
+}
+
+impl ProfileDemo {
+    /// Text rendering: both breakdowns plus the eigenvalue Gantt.
+    pub fn render(&self) -> String {
+        let ep = self.eigen.profile.as_ref().expect("profiled run");
+        let gp = self.groebner.profile.as_ref().expect("profiled run");
+        let mut s = String::new();
+        let _ = writeln!(s, "earth-profile: Eigenvalue (8 nodes, seed 42)");
+        s.push_str(&ep.render(&self.eigen.report));
+        let _ = writeln!(s, "\nutilization timeline:");
+        s.push_str(&ep.trace.timeline(8, 72));
+        let _ = writeln!(s, "\nearth-profile: Groebner/Lazard (8 nodes, seed 1)");
+        s.push_str(&gp.render(&self.groebner.report));
+        s
+    }
+
+    /// Chrome-trace JSON for the eigenvalue run (Perfetto-loadable).
+    pub fn to_json(&self) -> String {
+        crate::chrome::chrome_trace_json(self.eigen.profile.as_ref().expect("profiled run"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -595,6 +639,19 @@ mod tests {
         assert_eq!(t.rows.len(), 3);
         assert!((t.rows[0].1.as_ms_f64() - 5.047).abs() < 0.2);
         assert!(!t.render().is_empty());
+    }
+
+    #[test]
+    fn profile_demo_decomposition_is_exact() {
+        let d = profile_demo();
+        let ep = d.eigen.profile.as_ref().unwrap();
+        ep.check(&d.eigen.report).expect("eigen breakdown exact");
+        let gp = d.groebner.profile.as_ref().unwrap();
+        gp.check(&d.groebner.report)
+            .expect("groebner breakdown exact");
+        let text = d.render();
+        assert!(text.contains("critical path"), "{text}");
+        assert!(text.contains("utilization timeline"), "{text}");
     }
 
     #[test]

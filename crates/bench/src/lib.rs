@@ -10,10 +10,12 @@
 //! spread over host threads with `std::thread::scope` — the
 //! simulations themselves stay single-threaded and deterministic.
 
+pub mod chrome;
 pub mod experiments;
 pub mod json;
 pub mod workloads;
 
+pub use chrome::chrome_trace_json;
 pub use experiments::*;
 pub use json::{groebner_curves_to_json, neural_curves_to_json};
 pub use workloads::*;

@@ -23,6 +23,9 @@ pub struct Ctx<'a> {
     start: VirtualTime,
     elapsed: VirtualDuration,
     ended: bool,
+    /// Dependency-chain length at the thread's first instruction
+    /// (critical-path accounting; observational only).
+    cp_base: VirtualDuration,
 }
 
 impl<'a> Ctx<'a> {
@@ -31,6 +34,7 @@ impl<'a> Ctx<'a> {
         node: NodeId,
         frame: FrameId,
         start: VirtualTime,
+        cp_base: VirtualDuration,
     ) -> Self {
         Ctx {
             rt,
@@ -39,11 +43,18 @@ impl<'a> Ctx<'a> {
             start,
             elapsed: VirtualDuration::ZERO,
             ended: false,
+            cp_base,
         }
     }
 
     pub(crate) fn finish(self) -> (VirtualDuration, bool) {
         (self.elapsed, self.ended)
+    }
+
+    /// Dependency-chain length at the thread's current instruction: the
+    /// chain it started with plus the computation charged since.
+    fn cp_now(&self) -> VirtualDuration {
+        self.cp_base + self.elapsed
     }
 
     // ---- identity & time ------------------------------------------------
@@ -116,9 +127,10 @@ impl<'a> Ctx<'a> {
     /// Threaded-C's `SPAWN`).
     pub fn spawn(&mut self, thread: ThreadId) {
         let frame = self.frame;
+        let cp = self.cp_now();
         self.rt.nodes[self.node.index()]
             .ready
-            .push_back((frame, thread));
+            .push_back((frame, thread, cp));
     }
 
     /// `RSYNC` / remote `SYNC`: send one completion signal to a slot that
@@ -126,13 +138,15 @@ impl<'a> Ctx<'a> {
     pub fn sync(&mut self, slot: SlotRef) {
         let costs = self.rt.config().earth;
         if slot.node == self.node {
-            self.rt.signal_local(self.node, slot);
+            let cp = self.cp_now();
+            self.rt.signal_local(self.node, slot, cp);
         } else {
             self.elapsed +=
                 costs.op_send + self.rt.comm_sender_overhead(OpClass::Async, MSG_HEADER);
             let at = self.now();
+            let cp = self.cp_now();
             self.rt
-                .transmit(at, self.node, slot.node, Msg::SyncSig { slot });
+                .transmit(at, self.node, slot.node, Msg::SyncSig { slot }, cp);
         }
     }
 
@@ -181,9 +195,11 @@ impl<'a> Ctx<'a> {
                 .read(src.offset, len)
                 .to_vec();
             self.rt.nodes[self.node.index()].mem.write(dst_off, &data);
-            self.rt.signal_local(self.node, done);
+            let cp = self.cp_now();
+            self.rt.signal_local(self.node, done, cp);
         } else {
             let at = self.now();
+            let cp = self.cp_now();
             self.rt.transmit(
                 at,
                 self.node,
@@ -195,6 +211,7 @@ impl<'a> Ctx<'a> {
                     reply_off: dst_off,
                     done,
                 },
+                cp,
             );
         }
     }
@@ -212,10 +229,12 @@ impl<'a> Ctx<'a> {
             self.rt.nodes[self.node.index()].mem.write(dst.offset, data);
             if let Some(done) = done {
                 let at = self.now();
-                self.rt.route_signal(at, self.node, done);
+                let cp = self.cp_now();
+                self.rt.route_signal(at, self.node, done, cp);
             }
         } else {
             let at = self.now();
+            let cp = self.cp_now();
             self.rt.transmit(
                 at,
                 self.node,
@@ -225,6 +244,7 @@ impl<'a> Ctx<'a> {
                     data: data.to_vec().into_boxed_slice(),
                     done,
                 },
+                cp,
             );
         }
     }
@@ -258,13 +278,15 @@ impl<'a> Ctx<'a> {
         if node == self.node {
             self.elapsed += costs.frame_setup;
             let frame = self.rt.instantiate(node, func, &args);
+            let cp = self.cp_now();
             self.rt.nodes[node.index()]
                 .ready
-                .push_back((frame, ThreadId(0)));
+                .push_back((frame, ThreadId(0), cp));
         } else {
             let at = self.now();
+            let cp = self.cp_now();
             self.rt
-                .transmit(at, self.node, node, Msg::Invoke { func, args });
+                .transmit(at, self.node, node, Msg::Invoke { func, args }, cp);
         }
     }
 
@@ -273,9 +295,10 @@ impl<'a> Ctx<'a> {
     pub fn token(&mut self, func: FuncId, args: Box<[u8]>) {
         let costs = self.rt.config().earth;
         self.elapsed += costs.token_op;
+        let cp = self.cp_now();
         self.rt.nodes[self.node.index()]
             .tokens
-            .push_back(crate::node::Token { func, args });
+            .push_back(crate::node::Token { func, args, cp });
         self.rt.global_tokens += 1;
         let at = self.now();
         self.rt.poke_idle(at);

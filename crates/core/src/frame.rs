@@ -8,6 +8,7 @@
 
 use crate::addr::{FrameId, SlotId, ThreadId};
 use crate::ctx::Ctx;
+use earth_sim::VirtualDuration;
 
 /// A threaded function body. `run` is invoked once per fired thread and
 /// must not block: it performs local computation (charging virtual time
@@ -29,6 +30,10 @@ pub struct SyncSlot {
     reset: i32,
     thread: ThreadId,
     armed: bool,
+    /// Longest dependency chain among the signals received since the last
+    /// firing — the fired thread inherits it (critical-path accounting;
+    /// never affects scheduling or timing).
+    cp: VirtualDuration,
 }
 
 impl SyncSlot {
@@ -37,6 +42,7 @@ impl SyncSlot {
         reset: 0,
         thread: ThreadId(0),
         armed: false,
+        cp: VirtualDuration::ZERO,
     };
 
     /// Initialize with a trigger count, a reset value, and the thread to
@@ -48,20 +54,32 @@ impl SyncSlot {
             reset,
             thread,
             armed: true,
+            cp: VirtualDuration::ZERO,
         }
     }
 
     /// Apply one decrement; returns the thread to fire if the counter hit
     /// zero.
     pub fn signal(&mut self) -> Option<ThreadId> {
+        self.signal_at(VirtualDuration::ZERO).map(|(tid, _)| tid)
+    }
+
+    /// Apply one decrement carrying the signaller's dependency-chain
+    /// length. A firing thread inherits the longest chain among the
+    /// signals that armed it; the accumulator then resets for the next
+    /// firing cycle.
+    pub(crate) fn signal_at(&mut self, cp: VirtualDuration) -> Option<(ThreadId, VirtualDuration)> {
         assert!(self.armed, "signal on uninitialized sync slot");
+        self.cp = self.cp.max(cp);
         self.count -= 1;
         if self.count == 0 {
             self.count = self.reset;
             if self.count == 0 {
                 self.armed = false;
             }
-            Some(self.thread)
+            let fired_cp = self.cp;
+            self.cp = VirtualDuration::ZERO;
+            Some((self.thread, fired_cp))
         } else {
             None
         }

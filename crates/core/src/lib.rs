@@ -74,6 +74,7 @@ pub mod frame;
 pub mod memory;
 pub mod msg;
 pub mod node;
+pub mod profile;
 pub mod report;
 pub mod runtime;
 pub mod trace;
@@ -83,7 +84,9 @@ pub use args::{ArgsReader, ArgsWriter};
 pub use ctx::Ctx;
 pub use frame::ThreadedFn;
 pub use msg::FuncId;
+pub use profile::{ClassCost, NodeProfile, RunProfile};
 pub use report::{NodeStats, RunReport};
 pub use runtime::Runtime;
+pub use trace::{Activity, Span, Trace};
 
 pub use earth_machine::NodeId;

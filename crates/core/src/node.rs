@@ -5,15 +5,17 @@ use crate::memory::Memory;
 use crate::msg::{FuncId, Msg};
 use crate::report::NodeStats;
 use crate::{FrameId, ThreadId};
-use earth_sim::{Rng, VirtualTime};
+use earth_sim::{Rng, VirtualDuration, VirtualTime};
 use std::any::Any;
 use std::collections::VecDeque;
 
 /// A load-balancer token: a deferred threaded-function invocation that any
-/// node may pick up.
+/// node may pick up. `cp` is the dependency-chain length behind the
+/// token's creation (critical-path accounting; never affects scheduling).
 pub(crate) struct Token {
     pub(crate) func: FuncId,
     pub(crate) args: Box<[u8]>,
+    pub(crate) cp: VirtualDuration,
 }
 
 /// One simulated node's complete runtime state.
@@ -22,15 +24,16 @@ pub(crate) struct Node {
     pub(crate) mem: Memory,
     /// Live frames.
     pub(crate) frames: FrameStore,
-    /// Threads whose sync slots have fired, in firing order.
-    pub(crate) ready: VecDeque<(FrameId, ThreadId)>,
+    /// Threads whose sync slots have fired, in firing order, each with
+    /// the dependency-chain length that made it ready.
+    pub(crate) ready: VecDeque<(FrameId, ThreadId, VirtualDuration)>,
     /// Local token queue. New tokens push at the back and pop from the
     /// back locally (LIFO keeps the working set warm); thieves steal from
     /// the front (FIFO gives them the oldest, typically largest work).
     pub(crate) tokens: VecDeque<Token>,
     /// Messages delivered by the network but not yet serviced by the
-    /// polling watchdog.
-    pub(crate) pending: VecDeque<Msg>,
+    /// polling watchdog, each with its sender's dependency-chain length.
+    pub(crate) pending: VecDeque<(Msg, VirtualDuration)>,
     /// Application-defined node-local state (replicated matrices, weight
     /// slices, polynomial caches, ...).
     pub(crate) user: Option<Box<dyn Any>>,

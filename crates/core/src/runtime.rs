@@ -15,8 +15,9 @@ use crate::ctx::Ctx;
 use crate::frame::{FrameStore, ThreadedFn};
 use crate::msg::{FuncId, Msg};
 use crate::node::{Node, Token};
+use crate::profile::{ProfileState, RunProfile};
 use crate::report::RunReport;
-use crate::trace::{Activity, Trace};
+use crate::trace::{Activity, Span, Trace};
 use earth_machine::{MachineConfig, Network, NodeId, OpClass};
 use earth_sim::{EventQueue, Rng, VirtualDuration, VirtualTime};
 
@@ -28,7 +29,9 @@ pub const NODE_MEMORY: usize = 32 << 20;
 pub const DEFAULT_MAX_EVENTS: u64 = 200_000_000;
 
 pub(crate) enum Event {
-    Deliver(NodeId, Msg),
+    /// A message arriving at a node's NIC, tagged with the length of the
+    /// dependency chain behind it (critical-path accounting).
+    Deliver(NodeId, Msg, VirtualDuration),
     Wake(NodeId),
 }
 
@@ -50,6 +53,11 @@ pub struct Runtime {
     pub(crate) stealing_enabled: bool,
     /// Optional execution trace.
     trace: Option<Trace>,
+    /// Optional overhead-accounting collector (earth-profile).
+    profile: Option<ProfileState>,
+    /// Longest message/thread dependency chain observed so far. Tracked
+    /// unconditionally: it is a pure observation and costs no virtual time.
+    max_cp: VirtualDuration,
 }
 
 impl Runtime {
@@ -72,6 +80,8 @@ impl Runtime {
             max_events: DEFAULT_MAX_EVENTS,
             stealing_enabled: true,
             trace: None,
+            profile: None,
+            max_cp: VirtualDuration::ZERO,
         }
     }
 
@@ -83,6 +93,37 @@ impl Runtime {
     /// Take the recorded trace (empty if tracing was never enabled).
     pub fn take_trace(&mut self) -> Trace {
         self.trace.take().unwrap_or_default()
+    }
+
+    /// Start earth-profile collection: overhead decomposition per node,
+    /// activity trace, and network link occupancy. Free in virtual time —
+    /// a profiled run's report is identical to an unprofiled one.
+    pub fn enable_profile(&mut self) {
+        self.enable_trace();
+        self.net.enable_occupancy();
+        if self.profile.is_none() {
+            self.profile = Some(ProfileState::with_nodes(self.nodes.len()));
+        }
+    }
+
+    /// Take the collected profile (empty if profiling was never enabled).
+    pub fn take_profile(&mut self) -> RunProfile {
+        let st = self.profile.take().unwrap_or_default();
+        let mut nodes = st.nodes;
+        nodes.resize(self.nodes.len(), Default::default());
+        RunProfile {
+            nodes,
+            trace: self.take_trace(),
+            su_spans: st.su_spans,
+            links: self.net.take_occupancy(),
+            critical_path: self.max_cp,
+        }
+    }
+
+    /// Longest chain of message/thread dependencies executed so far —
+    /// the run's inherent serial bottleneck.
+    pub fn critical_path(&self) -> VirtualDuration {
+        self.max_cp
     }
 
     /// Machine configuration in force.
@@ -163,7 +204,7 @@ impl Runtime {
     pub fn inject_invoke(&mut self, node: NodeId, func: FuncId, args: Box<[u8]>) {
         self.events.push(
             VirtualTime::ZERO,
-            Event::Deliver(node, Msg::Invoke { func, args }),
+            Event::Deliver(node, Msg::Invoke { func, args }, VirtualDuration::ZERO),
         );
     }
 
@@ -177,7 +218,7 @@ impl Runtime {
         self.global_tokens += 1;
         self.events.push(
             VirtualTime::ZERO,
-            Event::Deliver(node, Msg::Token { func, args }),
+            Event::Deliver(node, Msg::Token { func, args }, VirtualDuration::ZERO),
         );
     }
 
@@ -191,7 +232,7 @@ impl Runtime {
                 self.processed
             );
             match ev {
-                Event::Deliver(node, msg) => self.deliver(t, node, msg),
+                Event::Deliver(node, msg, cp) => self.deliver(t, node, msg, cp),
                 Event::Wake(node) => self.wake(t, node),
             }
         }
@@ -215,16 +256,30 @@ impl Runtime {
 
     // ---- internal machinery -------------------------------------------
 
-    /// Transmit `msg` from `src`, scheduling its delivery.
-    pub(crate) fn transmit(&mut self, at: VirtualTime, src: NodeId, dst: NodeId, msg: Msg) {
-        let arrive = self.net.send(at, src, dst, msg.wire_size());
+    /// Transmit `msg` from `src`, scheduling its delivery. `cp` is the
+    /// dependency-chain length behind the send; the delivered message
+    /// carries `cp` plus the pure flight latency (serialization + wire,
+    /// excluding any sender-link queueing, which is contention rather
+    /// than dependency).
+    pub(crate) fn transmit(
+        &mut self,
+        at: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        msg: Msg,
+        cp: VirtualDuration,
+    ) {
+        let d = self.net.send_detailed(at, src, dst, msg.wire_size());
         self.nodes[src.index()].stats.msgs_out += 1;
-        self.events.push(arrive, Event::Deliver(dst, msg));
+        self.events.push(
+            d.arrive,
+            Event::Deliver(dst, msg, cp + d.arrive.since(d.depart)),
+        );
     }
 
-    fn deliver(&mut self, t: VirtualTime, node: NodeId, msg: Msg) {
+    fn deliver(&mut self, t: VirtualTime, node: NodeId, msg: Msg, cp: VirtualDuration) {
         let n = &mut self.nodes[node.index()];
-        n.pending.push_back(msg);
+        n.pending.push_back((msg, cp));
         if !n.busy && !n.wake_pending {
             n.wake_pending = true;
             self.events.push(t, Event::Wake(node));
@@ -247,15 +302,40 @@ impl Runtime {
 
         // Polling watchdog: service everything the NIC has. In the
         // dual-processor configuration the Synchronization Unit does this
-        // concurrently, so the Execution Unit's clock does not advance.
+        // concurrently, so the Execution Unit's clock does not advance —
+        // but the SU's own clock (`su_round`) still does, and the machine
+        // is not quiescent until it drains.
         let dual = self.config().dual_processor;
-        while let Some(msg) = self.nodes[node.index()].pending.pop_front() {
+        let mut su_round = VirtualDuration::ZERO;
+        while let Some((msg, cp_in)) = self.nodes[node.index()].pending.pop_front() {
             self.nodes[node.index()].stats.msgs_in += 1;
-            let cost = self.handle_msg(t + elapsed, node, msg);
+            let class = msg.op_class();
+            let cost = self.handle_msg(t + elapsed, node, msg, cp_in);
+            self.max_cp = self.max_cp.max(cp_in + cost);
             if dual {
                 self.nodes[node.index()].stats.su_time += cost;
+                su_round += cost;
             } else {
                 elapsed += cost;
+            }
+            if let Some(prof) = self.profile.as_mut() {
+                prof.nodes[node.index()].add_msg(class, cost);
+            }
+        }
+        if !su_round.is_zero() {
+            // The SU keeps the node's clock honest: a run whose final
+            // activity is SU-side message handling still ends then, not at
+            // the EU's last instruction.
+            self.last_activity = self.last_activity.max_of(t + su_round);
+            if let Some(prof) = self.profile.as_mut() {
+                let p = &mut prof.nodes[node.index()];
+                p.su += su_round;
+                prof.su_spans.push(Span {
+                    node,
+                    start: t,
+                    end: t + su_round,
+                    what: Activity::Su,
+                });
             }
         }
 
@@ -263,18 +343,22 @@ impl Runtime {
             tr.record(node, t, t + elapsed, Activity::Poll);
         }
         let after_poll = elapsed;
+        if let Some(prof) = self.profile.as_mut() {
+            prof.nodes[node.index()].poll += after_poll;
+        }
 
         let mut activity = Activity::Poll;
-        if let Some((frame, tid)) = self.nodes[node.index()].ready.pop_front() {
+        if let Some((frame, tid, cp)) = self.nodes[node.index()].ready.pop_front() {
             elapsed += costs.thread_switch;
-            elapsed += self.run_thread(t + elapsed, node, frame, tid);
+            elapsed += self.run_thread(t + elapsed, node, frame, tid, cp + costs.thread_switch);
             activity = Activity::Thread;
         } else if let Some(token) = self.nodes[node.index()].tokens.pop_back() {
             self.global_tokens -= 1;
             self.nodes[node.index()].stats.tokens_run += 1;
             elapsed += costs.token_op + costs.frame_setup;
+            let cp0 = token.cp + costs.token_op + costs.frame_setup;
             let frame = self.instantiate(node, token.func, &token.args);
-            elapsed += self.run_thread(t + elapsed, node, frame, ThreadId(0));
+            elapsed += self.run_thread(t + elapsed, node, frame, ThreadId(0), cp0);
             activity = Activity::TokenRun;
         } else if self.should_steal(t, node) {
             elapsed += self.try_steal(t, node);
@@ -283,6 +367,18 @@ impl Runtime {
         if let Some(tr) = self.trace.as_mut() {
             if elapsed > after_poll {
                 tr.record(node, t + after_poll, t + elapsed, activity);
+            }
+        }
+        if let Some(prof) = self.profile.as_mut() {
+            let run = elapsed - after_poll;
+            if !run.is_zero() {
+                let p = &mut prof.nodes[node.index()];
+                match activity {
+                    Activity::Thread => p.thread += run,
+                    Activity::TokenRun => p.token += run,
+                    Activity::Steal => p.steal += run,
+                    Activity::Poll | Activity::Su => unreachable!("no post-poll work"),
+                }
             }
         }
 
@@ -321,7 +417,9 @@ impl Runtime {
         let costs = self.config().earth;
         let cost = costs.token_op + costs.op_send;
         self.nodes[node.index()].stealing = true;
-        self.transmit(t + cost, node, victim, Msg::StealReq { thief: node });
+        // A steal request starts a fresh chain: the thief was idle, so
+        // nothing it did before depends on this request.
+        self.transmit(t + cost, node, victim, Msg::StealReq { thief: node }, cost);
         cost
     }
 
@@ -350,8 +448,17 @@ impl Runtime {
         self.nodes[node.index()].frames.insert(frame)
     }
 
-    /// Service one message; returns CPU time spent.
-    fn handle_msg(&mut self, at: VirtualTime, node: NodeId, msg: Msg) -> VirtualDuration {
+    /// Service one message; returns CPU time spent. `cp_in` is the
+    /// dependency-chain length behind the message's arrival; every effect
+    /// (reply, signal, readied thread) inherits it plus the handling cost
+    /// accrued up to that effect.
+    fn handle_msg(
+        &mut self,
+        at: VirtualTime,
+        node: NodeId,
+        msg: Msg,
+        cp_in: VirtualDuration,
+    ) -> VirtualDuration {
         let costs = self.config().earth;
         let comm = self.config().comm;
         let mut cost = costs.op_recv;
@@ -381,6 +488,7 @@ impl Runtime {
                         data,
                         done,
                     },
+                    cp_in + cost,
                 );
             }
             Msg::GetReply {
@@ -389,7 +497,7 @@ impl Runtime {
                 done,
             } => {
                 self.nodes[node.index()].mem.write(dst_off, &data);
-                self.route_signal(at + cost, node, done);
+                self.route_signal(at + cost, node, done, cp_in + cost);
             }
             Msg::Put {
                 dst_off,
@@ -398,24 +506,28 @@ impl Runtime {
             } => {
                 self.nodes[node.index()].mem.write(dst_off, &data);
                 if let Some(done) = done {
-                    self.route_signal(at + cost, node, done);
+                    self.route_signal(at + cost, node, done, cp_in + cost);
                 }
             }
             Msg::SyncSig { slot } => {
                 debug_assert_eq!(slot.node, node, "SyncSig routed to wrong node");
-                self.signal_local(node, slot);
+                self.signal_local(node, slot, cp_in + cost);
             }
             Msg::Invoke { func, args } => {
                 cost += costs.frame_setup;
                 let frame = self.instantiate(node, func, &args);
                 self.nodes[node.index()]
                     .ready
-                    .push_back((frame, ThreadId(0)));
+                    .push_back((frame, ThreadId(0), cp_in + cost));
             }
             Msg::Token { func, args } => {
                 cost += costs.token_op;
                 let n = &mut self.nodes[node.index()];
-                n.tokens.push_back(Token { func, args });
+                n.tokens.push_back(Token {
+                    func,
+                    args,
+                    cp: cp_in + cost,
+                });
                 if n.stealing {
                     // This token answers our steal request.
                     n.stealing = false;
@@ -428,6 +540,9 @@ impl Runtime {
                 cost += costs.op_send;
                 if let Some(token) = self.nodes[node.index()].tokens.pop_front() {
                     cost += costs.token_op;
+                    // The forwarded token depends both on its own creation
+                    // chain and on the steal round trip that moved it.
+                    let cp = token.cp.max(cp_in + cost);
                     self.transmit(
                         at + cost,
                         node,
@@ -436,10 +551,11 @@ impl Runtime {
                             func: token.func,
                             args: token.args,
                         },
+                        cp,
                     );
                 } else {
                     self.nodes[node.index()].stats.steal_nacks += 1;
-                    self.transmit(at + cost, node, thief, Msg::StealNack);
+                    self.transmit(at + cost, node, thief, Msg::StealNack, cp_in + cost);
                 }
             }
             Msg::StealNack => {
@@ -462,36 +578,46 @@ impl Runtime {
     }
 
     /// Deliver a completion signal to a slot that may live anywhere.
-    pub(crate) fn route_signal(&mut self, at: VirtualTime, from: NodeId, slot: SlotRef) {
+    pub(crate) fn route_signal(
+        &mut self,
+        at: VirtualTime,
+        from: NodeId,
+        slot: SlotRef,
+        cp: VirtualDuration,
+    ) {
         if slot.node == from {
-            self.signal_local(from, slot);
+            self.signal_local(from, slot, cp);
         } else {
-            self.transmit(at, from, slot.node, Msg::SyncSig { slot });
+            self.transmit(at, from, slot.node, Msg::SyncSig { slot }, cp);
         }
     }
 
     /// Decrement a slot on this node; fire its thread if it reaches zero.
-    pub(crate) fn signal_local(&mut self, node: NodeId, slot: SlotRef) {
+    /// The fired thread inherits the longest chain among the signals that
+    /// armed it.
+    pub(crate) fn signal_local(&mut self, node: NodeId, slot: SlotRef, cp: VirtualDuration) {
         debug_assert_eq!(slot.node, node);
         let n = &mut self.nodes[node.index()];
         match n.frames.get_mut(slot.frame) {
             Some(entry) => {
                 FrameStore::ensure_slot(entry, slot.slot);
-                if let Some(tid) = entry.slots[slot.slot.0 as usize].signal() {
-                    n.ready.push_back((slot.frame, tid));
+                if let Some((tid, cp_fire)) = entry.slots[slot.slot.0 as usize].signal_at(cp) {
+                    n.ready.push_back((slot.frame, tid, cp_fire));
                 }
             }
             None => n.stats.dropped_signals += 1,
         }
     }
 
-    /// Execute one thread to completion; returns its CPU time.
+    /// Execute one thread to completion; returns its CPU time. `cp0` is
+    /// the dependency-chain length at the thread's first instruction.
     fn run_thread(
         &mut self,
         start: VirtualTime,
         node: NodeId,
         frame: FrameId,
         tid: ThreadId,
+        cp0: VirtualDuration,
     ) -> VirtualDuration {
         let Some(entry) = self.nodes[node.index()].frames.get_mut(frame) else {
             // Thread fired for a frame that already ended: application
@@ -501,10 +627,11 @@ impl Runtime {
         };
         let mut func = entry.func.take().expect("frame is already executing");
         let (elapsed, ended) = {
-            let mut ctx = Ctx::new(self, node, frame, start);
+            let mut ctx = Ctx::new(self, node, frame, start, cp0);
             func.run(&mut ctx, tid);
             ctx.finish()
         };
+        self.max_cp = self.max_cp.max(cp0 + elapsed);
         let n = &mut self.nodes[node.index()];
         n.stats.threads += 1;
         if ended {

@@ -24,6 +24,9 @@ pub enum Activity {
     TokenRun,
     /// Load-balancer traffic (steal requests).
     Steal,
+    /// Synchronization Unit message service (dual-processor mode; only
+    /// appears in earth-profile's SU spans, never in the EU trace).
+    Su,
 }
 
 /// One recorded busy interval.
@@ -74,8 +77,8 @@ impl Trace {
     }
 
     /// Render a text Gantt: one row per node, `width` columns spanning
-    /// the trace; `#` thread execution, `t` token runs, `.` polling,
-    /// `s` stealing, space idle.
+    /// the trace; `#` thread execution, `t` token runs, `s` stealing,
+    /// `u` SU service, `.` polling, space idle.
     pub fn timeline(&self, nodes: u16, width: usize) -> String {
         assert!(width >= 10);
         let end = self
@@ -99,14 +102,18 @@ impl Trace {
                     Activity::TokenRun => b't',
                     Activity::Poll => b'.',
                     Activity::Steal => b's',
+                    Activity::Su => b'u',
                 };
                 for cell in row.iter_mut().take(b.min(width)).skip(a) {
-                    // busier activities win the cell
+                    // Busier activities win the cell. Every activity has
+                    // its own rank, so a steal marker is never hidden by a
+                    // poll span covering the same columns.
                     let rank = |c: u8| match c {
-                        b'#' => 3,
-                        b't' => 2,
+                        b'#' => 5,
+                        b't' => 4,
+                        b's' => 3,
+                        b'u' => 2,
                         b'.' => 1,
-                        b's' => 1,
                         _ => 0,
                     };
                     if rank(ch) > rank(*cell) {
@@ -170,5 +177,62 @@ mod tests {
     fn empty_timeline_is_graceful() {
         let tr = Trace::default();
         assert_eq!(tr.timeline(3, 20), "(empty trace)\n");
+    }
+
+    #[test]
+    fn steal_survives_overlapping_poll() {
+        // A steal round often shares its columns with poll spans of
+        // neighbouring rounds; the steal marker must win the cell (the
+        // old renderer ranked 's' equal to '.', so whichever came later
+        // in the span list erased the other).
+        let mut tr = Trace::default();
+        tr.record(NodeId(0), t(0), t(100), Activity::Poll);
+        tr.record(NodeId(0), t(40), t(60), Activity::Steal);
+        let s = tr.timeline(1, 20);
+        assert!(s.lines().next().unwrap().contains('s'), "{s}");
+        // and the reverse recording order gives the same row
+        let mut rev = Trace::default();
+        rev.record(NodeId(0), t(40), t(60), Activity::Steal);
+        rev.record(NodeId(0), t(0), t(100), Activity::Poll);
+        assert_eq!(tr.timeline(1, 20), rev.timeline(1, 20));
+    }
+
+    #[test]
+    fn every_activity_has_a_distinct_rank() {
+        // All five activities stacked on the same interval: the busiest
+        // ('#') wins, and removing it promotes the next rank, so no two
+        // activities can silently tie.
+        let acts = [
+            (Activity::Poll, '.'),
+            (Activity::Su, 'u'),
+            (Activity::Steal, 's'),
+            (Activity::TokenRun, 't'),
+            (Activity::Thread, '#'),
+        ];
+        for top in 0..acts.len() {
+            let mut tr = Trace::default();
+            for &(a, _) in &acts[..=top] {
+                tr.record(NodeId(0), t(0), t(50), a);
+            }
+            let row = tr.timeline(1, 20);
+            let want = acts[top].1;
+            assert!(
+                row.lines().next().unwrap().contains(want),
+                "expected {want:?} to win in:\n{row}"
+            );
+        }
+    }
+
+    #[test]
+    fn timeline_is_deterministic() {
+        let build = || {
+            let mut tr = Trace::default();
+            tr.record(NodeId(0), t(0), t(30), Activity::Thread);
+            tr.record(NodeId(1), t(10), t(20), Activity::Steal);
+            tr.record(NodeId(1), t(5), t(25), Activity::Poll);
+            tr.record(NodeId(0), t(30), t(90), Activity::TokenRun);
+            tr
+        };
+        assert_eq!(build().timeline(2, 40), build().timeline(2, 40));
     }
 }

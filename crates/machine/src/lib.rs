@@ -27,5 +27,5 @@ pub mod network;
 pub mod topology;
 
 pub use config::{CommCostModel, EarthCosts, MachineConfig, MsgPassingCosts, OpClass};
-pub use network::{Network, NetworkStats};
+pub use network::{Delivery, LinkSpan, Network, NetworkStats};
 pub use topology::NodeId;

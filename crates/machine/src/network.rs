@@ -33,6 +33,36 @@ pub struct NetworkStats {
     pub wait_time: VirtualDuration,
 }
 
+/// One message's resolved timing: when it left the sender link and when
+/// it becomes available at the destination NIC. The flight time
+/// (`arrive - depart`) is the pure dependency latency — it excludes any
+/// time the message queued behind earlier traffic on the sender link,
+/// which is what critical-path accounting needs.
+#[derive(Clone, Copy, Debug)]
+pub struct Delivery {
+    /// Instant the message started occupying the sender link.
+    pub depart: VirtualTime,
+    /// Instant the message is available at the destination NIC.
+    pub arrive: VirtualTime,
+}
+
+/// One recorded sender-link occupancy interval (earth-profile's network
+/// lane): the link of `src` was busy serializing `bytes` towards `dst`
+/// from `start` to `end`.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSpan {
+    /// Sending node (whose injection link was occupied).
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Start of link occupancy.
+    pub start: VirtualTime,
+    /// End of link occupancy.
+    pub end: VirtualTime,
+    /// Payload bytes serialized.
+    pub bytes: u32,
+}
+
 /// The crossbar network: computes delivery times and tracks link occupancy.
 pub struct Network {
     cfg: MachineConfig,
@@ -40,6 +70,9 @@ pub struct Network {
     link_free: Vec<VirtualTime>,
     jitter_rng: Rng,
     stats: NetworkStats,
+    /// When `Some`, every remote send records its link-occupancy interval
+    /// (earth-profile's trace export; never affects timing).
+    occupancy: Option<Vec<LinkSpan>>,
 }
 
 impl Network {
@@ -53,6 +86,7 @@ impl Network {
             #[allow(clippy::unusual_byte_groupings)] // ascii "network"
             jitter_rng: Rng::new(seed ^ 0x6E65_7477_6F72_6Bu64),
             stats: NetworkStats::default(),
+            occupancy: None,
         }
     }
 
@@ -61,12 +95,50 @@ impl Network {
         &self.cfg
     }
 
+    /// Start recording sender-link occupancy intervals (earth-profile's
+    /// network lane). Recording is observational only: timing, jitter
+    /// draws, and traffic counters are unchanged.
+    pub fn enable_occupancy(&mut self) {
+        if self.occupancy.is_none() {
+            self.occupancy = Some(Vec::new());
+        }
+    }
+
+    /// Take the recorded link-occupancy intervals (empty if recording was
+    /// never enabled).
+    pub fn take_occupancy(&mut self) -> Vec<LinkSpan> {
+        self.occupancy.take().unwrap_or_default()
+    }
+
     /// Inject a `bytes`-byte message from `src` to `dst` at time `now`.
     /// Returns the instant the message is available at the destination
     /// node's NIC. Local messages (src == dst) are delivered immediately.
     pub fn send(&mut self, now: VirtualTime, src: NodeId, dst: NodeId, bytes: u32) -> VirtualTime {
+        self.send_detailed(now, src, dst, bytes).arrive
+    }
+
+    /// Like [`send`](Network::send), but also reports when the message
+    /// left the sender link, so callers can separate pure flight latency
+    /// from link queueing.
+    ///
+    /// The sender link is occupied for exactly the serialization time,
+    /// and the delivered latency is that same serialization plus the
+    /// flight components (wire + hops). Jitter models variability in the
+    /// switching fabric, so it applies to the flight components only —
+    /// jittering serialization too would make occupancy and delivery
+    /// disagree about how long the link was held.
+    pub fn send_detailed(
+        &mut self,
+        now: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+    ) -> Delivery {
         if src == dst {
-            return now;
+            return Delivery {
+                depart: now,
+                arrive: now,
+            };
         }
         let serialize =
             VirtualDuration::from_us_f64(bytes as f64 / self.cfg.link_bytes_per_sec as f64 * 1.0e6);
@@ -77,20 +149,32 @@ impl Network {
             self.stats.wait_time += link_free.since(now);
         }
         self.link_free[src.index()] = depart + serialize;
+        if let Some(spans) = self.occupancy.as_mut() {
+            spans.push(LinkSpan {
+                src,
+                dst,
+                start: depart,
+                end: depart + serialize,
+                bytes,
+            });
+        }
 
         let hops = crate::topology::hops(src, dst, self.cfg.cluster_size) as u64;
-        let mut latency = self.cfg.wire_latency + self.cfg.hop_latency.times(hops) + serialize;
+        let mut flight = self.cfg.wire_latency + self.cfg.hop_latency.times(hops);
         if self.cfg.latency_jitter > 0.0 {
             let f = 1.0
                 + self
                     .jitter_rng
                     .gen_f64_range(-self.cfg.latency_jitter, self.cfg.latency_jitter);
-            latency = latency.scaled(f);
+            flight = flight.scaled(f);
         }
 
         self.stats.messages += 1;
         self.stats.bytes += bytes as u64;
-        depart + latency
+        Delivery {
+            depart,
+            arrive: depart + serialize + flight,
+        }
     }
 
     /// Traffic counters so far.
@@ -150,22 +234,73 @@ mod tests {
     fn jitter_varies_latency_but_stays_bounded() {
         let cfg = MachineConfig::manna(4).with_jitter(0.05);
         let mut n = Network::new(cfg, 99);
-        let base = net(4)
-            .send(VirtualTime::ZERO, NodeId(0), NodeId(1), 1_000)
-            .since(VirtualTime::ZERO)
-            .as_us_f64();
+        // Jitter-free reference flight time (wire + 1 hop), excluding
+        // serialization, for the same route.
+        let mut quiet = net(4);
+        let d0 = quiet.send_detailed(VirtualTime::ZERO, NodeId(0), NodeId(1), 1_000);
+        let serialize = VirtualDuration::from_us(20); // 1000 B / 50 MB/s
+        let flight = d0.arrive.since(d0.depart) - serialize;
         let mut distinct = std::collections::BTreeSet::new();
-        for _ in 0..32 {
-            // fresh link each time: send from different sources
-            let t = n.send(VirtualTime::ZERO, NodeId(0), NodeId(1), 1_000);
-            let us = t.since(VirtualTime::ZERO).as_us_f64();
-            // each send also serializes; subtract growing link occupancy by
-            // just checking bounds generously
-            assert!(us > 0.0);
-            distinct.insert((us * 1000.0) as u64);
+        for i in 0..32u64 {
+            // Every send shares NodeId(0)'s injection link, so the i-th
+            // send departs only once the previous i serializations drain.
+            let d = n.send_detailed(VirtualTime::ZERO, NodeId(0), NodeId(1), 1_000);
+            assert_eq!(d.depart, VirtualTime::ZERO + serialize.times(i));
+            // Jitter applies to the flight components only; serialization
+            // is exactly the link-occupancy time.
+            let latency = d.arrive.since(d.depart);
+            assert!(
+                latency >= serialize + flight.scaled(0.95),
+                "latency {latency}"
+            );
+            assert!(
+                latency <= serialize + flight.scaled(1.05),
+                "latency {latency}"
+            );
+            distinct.insert(latency.as_ns());
         }
         assert!(distinct.len() > 1, "jitter should vary delivery times");
-        assert!(base > 0.0);
+    }
+
+    #[test]
+    fn occupancy_recording_matches_departures_and_never_shifts_timing() {
+        let cfg = MachineConfig::manna(4).with_jitter(0.05);
+        let mut plain = Network::new(cfg.clone(), 13);
+        let mut recorded = Network::new(cfg, 13);
+        recorded.enable_occupancy();
+        let mut sends = Vec::new();
+        for i in 0..10u32 {
+            let a = plain.send(
+                VirtualTime::ZERO,
+                NodeId(0),
+                NodeId(1 + (i as u16 % 3)),
+                500 + i,
+            );
+            let d = recorded.send_detailed(
+                VirtualTime::ZERO,
+                NodeId(0),
+                NodeId(1 + (i as u16 % 3)),
+                500 + i,
+            );
+            assert_eq!(a, d.arrive, "recording must not shift timing");
+            sends.push(d);
+        }
+        // local sends never occupy a link
+        recorded.send(VirtualTime::ZERO, NodeId(2), NodeId(2), 64);
+        let spans = recorded.take_occupancy();
+        assert_eq!(spans.len(), 10);
+        for (span, d) in spans.iter().zip(&sends) {
+            assert_eq!(span.src, NodeId(0));
+            assert_eq!(span.start, d.depart);
+            assert!(span.end <= d.arrive, "link frees before delivery");
+            assert!(span.end > span.start, "serialization takes time");
+        }
+        // intervals on one link never overlap
+        for w in spans.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+        // taking drains and disables
+        assert!(recorded.take_occupancy().is_empty());
     }
 
     #[test]

@@ -24,5 +24,5 @@ pub mod time;
 
 pub use queue::EventQueue;
 pub use rng::Rng;
-pub use stats::Summary;
+pub use stats::{Breakdown, Summary};
 pub use time::{VirtualDuration, VirtualTime};

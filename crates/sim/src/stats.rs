@@ -6,6 +6,7 @@
 //! in EXPERIMENTS.md.
 
 use std::fmt;
+use std::fmt::Write as _;
 
 /// Mean / min / max / stddev of a sample of `f64` observations.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -80,6 +81,43 @@ pub fn speedup_summary(sequential_ns: u64, parallel_ns: &[u64]) -> Summary {
     Summary::of(&series)
 }
 
+/// A labelled cost breakdown: `(label, amount)` rows that are rendered
+/// with their share of the total — the "where did the microseconds go"
+/// presentation of Table 1 and the earth-profile overhead tables.
+#[derive(Clone, Debug, Default)]
+pub struct Breakdown {
+    rows: Vec<(String, f64)>,
+}
+
+impl Breakdown {
+    /// Append one component.
+    pub fn push(&mut self, label: &str, amount: f64) {
+        self.rows.push((label.to_string(), amount));
+    }
+
+    /// Sum of all components.
+    pub fn total(&self) -> f64 {
+        self.rows.iter().map(|(_, a)| a).sum()
+    }
+
+    /// Render as aligned `label  amount  share%` lines with `unit`
+    /// appended to each amount.
+    pub fn render(&self, unit: &str) -> String {
+        let total = self.total();
+        let mut out = String::new();
+        for (label, amount) in &self.rows {
+            let share = if total > 0.0 {
+                amount / total * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(out, "  {label:<18} {amount:>14.3} {unit:<3} {share:>5.1}%");
+        }
+        let _ = writeln!(out, "  {:<18} {total:>14.3} {unit:<3} 100.0%", "total");
+        out
+    }
+}
+
 /// Render a fixed-width table row of `(label, cells)` for the repro
 /// harness's text output.
 pub fn table_row(label: &str, cells: &[String], width: usize) -> String {
@@ -133,6 +171,26 @@ mod tests {
         let r = table_row("lazard", &["1.00".into(), "1.98".into()], 8);
         assert!(r.starts_with("lazard"));
         assert!(r.ends_with("    1.98"));
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_hundred() {
+        let mut b = Breakdown::default();
+        b.push("poll", 25.0);
+        b.push("thread", 75.0);
+        assert_eq!(b.total(), 100.0);
+        let r = b.render("us");
+        assert!(r.contains("25.0%"), "{r}");
+        assert!(r.contains("75.0%"), "{r}");
+        assert!(r.contains("total"), "{r}");
+    }
+
+    #[test]
+    fn empty_breakdown_renders_without_dividing_by_zero() {
+        let b = Breakdown::default();
+        let r = b.render("us");
+        assert!(r.contains("total"));
+        assert!(!r.contains("NaN"));
     }
 
     #[test]

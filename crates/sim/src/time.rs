@@ -145,8 +145,15 @@ impl VirtualDuration {
     }
 
     /// Scale by a float factor, rounding to the nearest nanosecond.
+    /// Computed directly in nanoseconds so `scaled(1.0)` is the identity
+    /// for any span an experiment can produce (a round-trip through
+    /// fractional microseconds would shave nanoseconds off long spans).
+    /// Negative or non-finite factors clamp to zero.
     pub fn scaled(self, factor: f64) -> VirtualDuration {
-        VirtualDuration::from_us_f64(self.as_us_f64() * factor)
+        if !factor.is_finite() || factor <= 0.0 {
+            return VirtualDuration::ZERO;
+        }
+        VirtualDuration((self.0 as f64 * factor).round() as u64)
     }
 }
 
@@ -305,6 +312,17 @@ mod tests {
         let d = VirtualDuration::from_us(100);
         assert_eq!(d.scaled(0.5), VirtualDuration::from_us(50));
         assert_eq!(d.scaled(0.0), VirtualDuration::ZERO);
+        assert_eq!(d.scaled(f64::NAN), VirtualDuration::ZERO);
+        assert_eq!(d.scaled(-1.0), VirtualDuration::ZERO);
+    }
+
+    #[test]
+    fn scaled_keeps_ns_precision_on_long_spans() {
+        // 1 hour + 1 ns: the old µs round-trip lost the trailing ns.
+        let d = VirtualDuration::from_secs(3600) + VirtualDuration::from_ns(1);
+        assert_eq!(d.scaled(1.0), d);
+        let odd = VirtualDuration::from_ns(1_234_567_891_234_567);
+        assert_eq!(odd.scaled(1.0), odd);
     }
 
     #[test]

@@ -82,6 +82,24 @@ props! {
     }
 
     #[test]
+    fn scaled_by_one_is_identity_up_to_hours(ns in 0u64..3_600_000_000_001) {
+        // Spans up to an hour (and beyond: u64 hours of ns stay under
+        // 2^53) must survive scaled(1.0) bit-exactly — the old
+        // implementation round-tripped through fractional microseconds
+        // and silently dropped nanoseconds on long spans.
+        let d = VirtualDuration::from_ns(ns);
+        prop_assert_eq!(d.scaled(1.0), d);
+    }
+
+    #[test]
+    fn scaled_is_monotone_in_factor(ns in 0u64..1_000_000_000, bump in 1u32..100) {
+        let d = VirtualDuration::from_ns(ns);
+        let lo = d.scaled(1.0);
+        let hi = d.scaled(1.0 + bump as f64 / 100.0);
+        prop_assert!(hi >= lo);
+    }
+
+    #[test]
     fn rng_streams_are_reproducible_and_bounded(seed in any::<u64>(), bound in 1u64..10_000) {
         let mut a = Rng::new(seed);
         let mut b = Rng::new(seed);

@@ -4,8 +4,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build (release, offline) =="
-cargo build --release --offline --workspace
+echo "== build (release, offline, all targets) =="
+cargo build --release --offline --workspace --all-targets
 
 echo "== tests =="
 cargo test -q --offline --workspace
