@@ -40,7 +40,7 @@ props! {
     #[test]
     fn div_inverts_mul(a in monomial(NVARS, 6), b in monomial(NVARS, 6)) {
         let ab = a.mul(&b);
-        prop_assert_eq!(a.div(&ab), Some(b.clone()));
+        prop_assert_eq!(a.div(&ab), Some(b));
         prop_assert_eq!(b.div(&ab), Some(a));
     }
 

@@ -270,7 +270,7 @@ pub fn run_eigen(
     seed: u64,
     mode: FetchMode,
 ) -> EigenRun {
-    run_eigen_inner(matrix, tol, nodes, seed, mode, false)
+    run_eigen_inner(matrix, tol, MachineConfig::manna(nodes), seed, mode, false)
 }
 
 /// Like [`run_eigen`] with earth-profile collection on; timing is
@@ -282,18 +282,35 @@ pub fn run_eigen_profiled(
     seed: u64,
     mode: FetchMode,
 ) -> EigenRun {
-    run_eigen_inner(matrix, tol, nodes, seed, mode, true)
+    run_eigen_inner(matrix, tol, MachineConfig::manna(nodes), seed, mode, true)
 }
 
-fn run_eigen_inner(
+/// Like [`run_eigen`] under a fault-injection plan: the reliability layer
+/// retransmits around drops and suppresses duplicates, so the computed
+/// eigenvalues are bit-identical to the fault-free run's — only virtual
+/// time (and the report's fault counters) degrade.
+pub fn run_eigen_faulted(
     matrix: &SymTridiagonal,
     tol: f64,
     nodes: u16,
     seed: u64,
     mode: FetchMode,
+    plan: &earth_machine::FaultPlan,
+) -> EigenRun {
+    let cfg = MachineConfig::manna(nodes).with_faults(plan.clone());
+    run_eigen_inner(matrix, tol, cfg, seed, mode, false)
+}
+
+fn run_eigen_inner(
+    matrix: &SymTridiagonal,
+    tol: f64,
+    cfg: MachineConfig,
+    seed: u64,
+    mode: FetchMode,
     profile: bool,
 ) -> EigenRun {
-    let mut rt = Runtime::new(MachineConfig::manna(nodes), seed);
+    let nodes = cfg.nodes;
+    let mut rt = Runtime::new(cfg, seed);
     if profile {
         rt.enable_profile();
     }

@@ -1041,6 +1041,7 @@ pub fn run_groebner_diag(
         comm_sync_us,
         true,
         false,
+        None,
     );
     let diag = run.diag.clone().unwrap_or_default();
     (run, diag)
@@ -1065,6 +1066,7 @@ pub fn run_groebner(
         comm_sync_us,
         false,
         false,
+        None,
     )
 }
 
@@ -1087,6 +1089,32 @@ pub fn run_groebner_profiled(
         comm_sync_us,
         false,
         true,
+        None,
+    )
+}
+
+/// Like [`run_groebner`] under a fault-injection plan: the reliability
+/// layer makes every protocol message (locks, basis broadcasts, pair
+/// traffic, termination tokens) exactly-once, so the computed basis is
+/// identical to the fault-free run's — only virtual time degrades.
+pub fn run_groebner_faulted(
+    ring: &Ring,
+    input: &[Poly],
+    nodes: u16,
+    seed: u64,
+    strategy: SelectionStrategy,
+    plan: &earth_machine::FaultPlan,
+) -> GroebnerRun {
+    run_groebner_inner(
+        ring,
+        input,
+        nodes,
+        seed,
+        strategy,
+        None,
+        false,
+        false,
+        Some(plan),
     )
 }
 
@@ -1100,6 +1128,7 @@ fn run_groebner_inner(
     comm_sync_us: Option<u64>,
     want_diag: bool,
     profile: bool,
+    faults: Option<&earth_machine::FaultPlan>,
 ) -> GroebnerRun {
     assert!(nodes >= 1);
     let workers: u16 = if nodes == 1 { 1 } else { nodes - 1 };
@@ -1108,6 +1137,9 @@ fn run_groebner_inner(
     let mut cfg = MachineConfig::manna(nodes).with_jitter(0.03);
     if let Some(us) = comm_sync_us {
         cfg = cfg.with_message_passing(us);
+    }
+    if let Some(plan) = faults {
+        cfg = cfg.with_faults(plan.clone());
     }
     let mut rt = Runtime::new(cfg, seed);
     if profile {

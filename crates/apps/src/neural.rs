@@ -539,6 +539,31 @@ pub fn run_neural_shaped(
     )
 }
 
+/// Like [`run_neural`] under a fault-injection plan: the reliability
+/// layer makes the collect/distribute traffic exactly-once, so the
+/// trained weights and outputs are bit-identical to the fault-free
+/// run's — only virtual time degrades.
+pub fn run_neural_faulted(
+    units: usize,
+    nodes: u16,
+    samples: usize,
+    seed: u64,
+    mode: PassMode,
+    shape: CommsShape,
+    plan: &earth_machine::FaultPlan,
+) -> NeuralRun {
+    run_neural_on(
+        MachineConfig::manna(nodes).with_faults(plan.clone()),
+        units,
+        units,
+        units,
+        samples,
+        seed,
+        mode,
+        shape,
+    )
+}
+
 /// Like [`run_neural`] with earth-profile collection on; timing is
 /// identical to the unprofiled run.
 pub fn run_neural_profiled(

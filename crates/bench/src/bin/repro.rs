@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--json] [table1|fig2|table2|fig4|fig5|table3|fig7|fig8|ablation|dual|profile|all]
+//! repro [--quick] [--json] [table1|fig2|table2|fig4|fig5|table3|fig7|fig8|ablation|dual|profile|faults|all]
 //! ```
 //!
 //! `--quick` shrinks matrices and seed counts (same shapes, CI speed).
@@ -12,6 +12,11 @@
 //! overhead breakdown and utilization timeline for seeded eigenvalue
 //! and Gröbner runs; with `--json` it emits the eigenvalue run's
 //! Chrome-trace-format JSON (load in Perfetto or `chrome://tracing`).
+//!
+//! `faults` (not part of `all`) runs the fault-plane degradation sweep:
+//! a fixed-seed eigenvalue workload under a drop-rate × node-count
+//! grid, with the reliability layer keeping every cell's results
+//! bit-identical to the fault-free baseline.
 
 use earth_bench::*;
 
@@ -116,5 +121,9 @@ fn main() {
     if what.contains(&"profile") {
         let d = profile_demo();
         println!("{}", if json { d.to_json() } else { d.render() });
+    }
+    if what.contains(&"faults") {
+        let t = faults_table();
+        println!("{}", if json { t.to_json() } else { t.render() });
     }
 }

@@ -4,16 +4,19 @@
 //! flavour of the Chrome trace-event format, loadable in Perfetto or
 //! `chrome://tracing`. Every EU activity span, SU service span
 //! (dual-processor mode) and network link-occupancy interval becomes a
-//! complete (`"ph":"X"`) event; thread-name metadata rows label the
-//! timeline. Output is fully deterministic: timestamps are exact
-//! nanosecond counts rendered as fixed-point microseconds, so the same
-//! seeded run always produces byte-identical JSON.
+//! complete (`"ph":"X"`) event; fault-plane decisions (drops, duplicates,
+//! delays) become instant (`"ph":"i"`) events on a per-node faults lane;
+//! thread-name metadata rows label the timeline. Output is fully
+//! deterministic: timestamps are exact nanosecond counts rendered as
+//! fixed-point microseconds, so the same seeded run always produces
+//! byte-identical JSON.
 
+use earth_machine::FaultKind;
 use earth_rt::{Activity, RunProfile};
 use std::fmt::Write as _;
 
-/// Rows per node in the `tid` scheme: EU, SU, link.
-const ROWS: u64 = 3;
+/// Rows per node in the `tid` scheme: EU, SU, link, faults.
+const ROWS: u64 = 4;
 
 /// Exact fixed-point microseconds (`ns / 1000` with 3 decimals) — no
 /// float formatting, so rendering can never drift between runs.
@@ -37,6 +40,21 @@ fn push_event(out: &mut String, name: &str, tid: u64, start_ns: u64, dur_ns: u64
     out.push('}');
 }
 
+fn push_instant(out: &mut String, name: &str, tid: u64, ts_ns: u64, args: &str) {
+    if !out.ends_with('[') {
+        out.push(',');
+    }
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{tid},\"s\":\"t\"",
+        us(ts_ns)
+    );
+    if !args.is_empty() {
+        let _ = write!(out, ",\"args\":{{{args}}}");
+    }
+    out.push('}');
+}
+
 fn push_thread_name(out: &mut String, tid: u64, name: &str) {
     if !out.ends_with('[') {
         out.push(',');
@@ -49,9 +67,10 @@ fn push_thread_name(out: &mut String, tid: u64, name: &str) {
 
 /// Serialise `profile` as Chrome trace-event JSON.
 ///
-/// `tid` layout: node *n*'s Execution Unit is `3n`, its Synchronization
-/// Unit `3n + 1`, and its outgoing network link `3n + 2` (SU and link
-/// rows are only emitted when the profile recorded such activity).
+/// `tid` layout: node *n*'s Execution Unit is `4n`, its Synchronization
+/// Unit `4n + 1`, its outgoing network link `4n + 2`, and its outgoing
+/// faults lane `4n + 3` (SU, link and faults rows are only emitted when
+/// the profile recorded such activity).
 pub fn chrome_trace_json(profile: &RunProfile) -> String {
     let nodes = profile.nodes.len() as u64;
     let mut out = String::from("{\"traceEvents\":[");
@@ -67,6 +86,9 @@ pub fn chrome_trace_json(profile: &RunProfile) -> String {
         if !profile.links.is_empty() {
             push_thread_name(&mut out, n * ROWS + 2, &format!("n{n} link"));
         }
+        if !profile.fault_events.is_empty() {
+            push_thread_name(&mut out, n * ROWS + 3, &format!("n{n} faults"));
+        }
     }
     for s in &profile.trace.spans {
         let name = match s.what {
@@ -74,6 +96,7 @@ pub fn chrome_trace_json(profile: &RunProfile) -> String {
             Activity::TokenRun => "token",
             Activity::Poll => "poll",
             Activity::Steal => "steal",
+            Activity::Retransmit => "retransmit",
             Activity::Su => "su",
         };
         push_event(
@@ -105,6 +128,20 @@ pub fn chrome_trace_json(profile: &RunProfile) -> String {
             &format!("\"bytes\":{},\"dst\":{}", l.bytes, l.dst.0),
         );
     }
+    for e in &profile.fault_events {
+        let name = match e.kind {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Delay => "delay",
+        };
+        push_instant(
+            &mut out,
+            name,
+            u64::from(e.src.0) * ROWS + 3,
+            e.at.as_ns(),
+            &format!("\"dst\":{}", e.dst.0),
+        );
+    }
     let _ = write!(
         out,
         "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"criticalPathUs\":{}}}}}",
@@ -116,7 +153,7 @@ pub fn chrome_trace_json(profile: &RunProfile) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use earth_machine::{LinkSpan, NodeId};
+    use earth_machine::{FaultEvent, LinkSpan, NodeId};
     use earth_rt::{NodeProfile, Span, Trace};
     use earth_sim::{VirtualDuration, VirtualTime};
 
@@ -157,6 +194,12 @@ mod tests {
                 end: t(9),
                 bytes: 128,
             }],
+            fault_events: vec![FaultEvent {
+                src: NodeId(0),
+                dst: NodeId(1),
+                at: t(7),
+                kind: FaultKind::Drop,
+            }],
             critical_path: VirtualDuration::from_us(40),
         }
     }
@@ -189,14 +232,19 @@ mod tests {
             "\"name\":\"n0 EU\"",
             "\"name\":\"n1 SU\"",
             "\"name\":\"n0 link\"",
+            "\"name\":\"n0 faults\"",
+            "\"name\":\"drop\"",
+            "\"ph\":\"i\"",
             "\"bytes\":128",
             "\"criticalPathUs\":40.000",
         ] {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
-        // tid scheme: node 1's poll span sits on tid 3, its SU on tid 4.
-        assert!(s.contains("\"tid\":3"));
+        // tid scheme: node 1's poll span sits on tid 4, its SU on tid 5,
+        // and node 0's drop instant on the faults lane, tid 3.
         assert!(s.contains("\"tid\":4"));
+        assert!(s.contains("\"tid\":5"));
+        assert!(s.contains("\"name\":\"drop\",\"ph\":\"i\",\"ts\":7.000,\"pid\":0,\"tid\":3"));
     }
 
     #[test]

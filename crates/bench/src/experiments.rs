@@ -4,11 +4,12 @@ use crate::workloads::*;
 use earth_algebra::buchberger::{buchberger, SelectionStrategy};
 use earth_algebra::inputs::table2_inputs;
 use earth_algebra::wire::wire_len;
-use earth_apps::eigen::{run_eigen, run_eigen_profiled, EigenRun, FetchMode};
+use earth_apps::eigen::{run_eigen, run_eigen_faulted, run_eigen_profiled, EigenRun, FetchMode};
 use earth_apps::groebner::{run_groebner, run_groebner_profiled, GroebnerRun};
 use earth_apps::neural::{run_neural, run_neural_on, CommsShape, PassMode};
 use earth_linalg::bisect::bisect_all;
-use earth_machine::MachineConfig;
+use earth_linalg::SymTridiagonal;
+use earth_machine::{FaultPlan, MachineConfig};
 use earth_sim::{Summary, VirtualDuration};
 use std::fmt::Write as _;
 
@@ -594,6 +595,134 @@ impl ProfileDemo {
     /// Chrome-trace JSON for the eigenvalue run (Perfetto-loadable).
     pub fn to_json(&self) -> String {
         crate::chrome::chrome_trace_json(self.eigen.profile.as_ref().expect("profiled run"))
+    }
+}
+
+/// One cell of the fault-plane degradation sweep: the quick eigenvalue
+/// workload under one (drop rate, node count) point.
+pub struct FaultsCell {
+    /// Degraded virtual elapsed time.
+    pub elapsed: VirtualDuration,
+    /// Elapsed over the fault-free baseline at the same node count.
+    pub slowdown: f64,
+    /// Reliability-layer retransmissions issued.
+    pub retransmits: u64,
+    /// Messages the fault plane dropped.
+    pub dropped: u64,
+    /// Messages the fault plane duplicated.
+    pub duplicated: u64,
+}
+
+/// Fault-plane degradation sweep (`repro faults`): a fixed-seed
+/// eigenvalue workload run under a drop-rate × node-count grid with a
+/// fixed duplication rate, against a fault-free baseline per node
+/// count. Correctness is asserted inside the sweep — every faulted
+/// cell's eigenvalues must equal the baseline's bit-for-bit — so the
+/// table reports purely the *cost* of reliability. Deliberately small
+/// and fixed-seed (independent of `--quick`) so the output is
+/// byte-identical on every invocation.
+pub struct FaultsTable {
+    /// Node counts swept (columns).
+    pub nodes: Vec<u16>,
+    /// Message drop probabilities swept (rows).
+    pub drops: Vec<f64>,
+    /// Duplication probability applied to every faulted cell.
+    pub dup: f64,
+    /// Fault-free elapsed time per node count.
+    pub baseline: Vec<VirtualDuration>,
+    /// `cells[drop_idx][node_idx]`.
+    pub cells: Vec<Vec<FaultsCell>>,
+}
+
+/// Run the fault-plane degradation sweep.
+pub fn faults_table() -> FaultsTable {
+    let m = SymTridiagonal::random_clustered(60, 3, 11);
+    let (tol, seed) = (1e-6, 42);
+    let nodes: Vec<u16> = vec![4, 8, 20];
+    let drops: Vec<f64> = vec![0.002, 0.01, 0.05];
+    let dup = 0.005;
+    let mut baseline = Vec::new();
+    let mut reference = Vec::new();
+    for &n in &nodes {
+        let run = run_eigen(&m, tol, n, seed, FetchMode::Block);
+        baseline.push(run.elapsed);
+        reference.push(run.eigenvalues);
+    }
+    let cells = drops
+        .iter()
+        .map(|&drop| {
+            let plan = FaultPlan::new().with_drop(drop).with_duplicate(dup);
+            nodes
+                .iter()
+                .enumerate()
+                .map(|(ni, &n)| {
+                    let run = run_eigen_faulted(&m, tol, n, seed, FetchMode::Block, &plan);
+                    assert_eq!(
+                        run.eigenvalues, reference[ni],
+                        "drop {drop} on {n} nodes changed the eigenvalues"
+                    );
+                    FaultsCell {
+                        elapsed: run.elapsed,
+                        slowdown: run.elapsed.as_us_f64() / baseline[ni].as_us_f64(),
+                        retransmits: run.report.total_retransmits(),
+                        dropped: run.report.net_dropped,
+                        duplicated: run.report.net_duplicated,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    FaultsTable {
+        nodes,
+        drops,
+        dup,
+        baseline,
+        cells,
+    }
+}
+
+impl FaultsTable {
+    /// Paper-style text rendering: degradation curves, one row per
+    /// (drop rate, node count) point.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Fault-plane degradation: Eigenvalue 60x60 seed 42, duplication {:.1}% (results bit-identical to baseline in every cell)",
+            self.dup * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "  drop%  nodes       elapsed  slowdown  retransmits  dropped  duplicated"
+        );
+        for (ni, &n) in self.nodes.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  {:>5}  {n:>5}  {:>12}  {:>8}  {:>11}  {:>7}  {:>10}",
+                "0",
+                format!("{}", self.baseline[ni]),
+                "1.000x",
+                0,
+                0,
+                0
+            );
+        }
+        for (di, &drop) in self.drops.iter().enumerate() {
+            for (ni, &n) in self.nodes.iter().enumerate() {
+                let c = &self.cells[di][ni];
+                let _ = writeln!(
+                    s,
+                    "  {:>5.1}  {n:>5}  {:>12}  {:>7.3}x  {:>11}  {:>7}  {:>10}",
+                    drop * 100.0,
+                    format!("{}", c.elapsed),
+                    c.slowdown,
+                    c.retransmits,
+                    c.dropped,
+                    c.duplicated
+                );
+            }
+        }
+        s
     }
 }
 

@@ -157,6 +157,47 @@ impl Table3 {
     }
 }
 
+impl FaultsTable {
+    /// JSON record. Every value is a pure function of the fixed seed
+    /// and plan, so the record is byte-identical across invocations.
+    pub fn to_json(&self) -> String {
+        let drops: Vec<f64> = self.drops.clone();
+        let base: Vec<f64> = self.baseline.iter().map(|d| d.as_us_f64()).collect();
+        let mut rows = String::from("[");
+        for (di, &drop) in self.drops.iter().enumerate() {
+            if di > 0 {
+                rows.push(',');
+            }
+            let mut cells = String::from("[");
+            for (ni, &n) in self.nodes.iter().enumerate() {
+                if ni > 0 {
+                    cells.push(',');
+                }
+                let c = &self.cells[di][ni];
+                let _ = write!(
+                    cells,
+                    "{{\"nodes\":{n},\"elapsed_us\":{},\"slowdown\":{},\"retransmits\":{},\"dropped\":{},\"duplicated\":{}}}",
+                    num(c.elapsed.as_us_f64()),
+                    num(c.slowdown),
+                    c.retransmits,
+                    c.dropped,
+                    c.duplicated
+                );
+            }
+            cells.push(']');
+            let _ = write!(rows, "{{\"drop\":{},\"cells\":{cells}}}", num(drop));
+        }
+        rows.push(']');
+        format!(
+            "{{\"experiment\":\"faults\",\"seed\":42,\"dup\":{},\"nodes\":{},\"drops\":{},\"baseline_us\":{},\"rows\":{rows}}}",
+            num(self.dup),
+            nodes_list(&self.nodes),
+            series(&drops),
+            series(&base)
+        )
+    }
+}
+
 impl CommsAblation {
     /// JSON record.
     pub fn to_json(&self) -> String {

@@ -15,7 +15,10 @@ pub struct FuncId(pub u32);
 /// Fixed per-message header bytes (routing, opcode, sync-slot address).
 pub const MSG_HEADER: u32 = 16;
 
-/// The wire messages of the runtime.
+/// The wire messages of the runtime. `Clone` exists for the reliability
+/// layer: an unacknowledged message is kept by the sender so the polling
+/// watchdog can retransmit it after a timeout.
+#[derive(Clone)]
 pub(crate) enum Msg {
     /// Split-phase remote read: fetch `len` bytes at `src_off` on the
     /// receiving node and deliver them to `reply_off` on `reply_to`,
@@ -52,6 +55,11 @@ pub(crate) enum Msg {
     StealReq { thief: NodeId },
     /// The victim had nothing to give.
     StealNack,
+    /// Reliability-layer acknowledgement: node `from` received sequence
+    /// number `seq` of ours. Only exists when a fault plan is installed;
+    /// acks themselves are unreliable (a lost ack is covered by the
+    /// retransmit + receiver dedup cycle).
+    Ack { from: NodeId, seq: u64 },
 }
 
 impl Msg {
@@ -64,6 +72,7 @@ impl Msg {
             Msg::SyncSig { .. } => MSG_HEADER,
             Msg::Invoke { args, .. } | Msg::Token { args, .. } => MSG_HEADER + args.len() as u32,
             Msg::StealReq { .. } | Msg::StealNack => MSG_HEADER,
+            Msg::Ack { .. } => MSG_HEADER + 10,
         }
     }
 
@@ -76,7 +85,7 @@ impl Msg {
             Msg::Put { .. } | Msg::SyncSig { .. } | Msg::Invoke { .. } | Msg::Token { .. } => {
                 Some(OpClass::Async)
             }
-            Msg::GetReply { .. } | Msg::StealReq { .. } | Msg::StealNack => None,
+            Msg::GetReply { .. } | Msg::StealReq { .. } | Msg::StealNack | Msg::Ack { .. } => None,
         }
     }
 }

@@ -22,7 +22,7 @@
 
 use crate::report::RunReport;
 use crate::trace::{Span, Trace};
-use earth_machine::{LinkSpan, OpClass};
+use earth_machine::{FaultEvent, LinkSpan, OpClass};
 use earth_sim::{Breakdown, VirtualDuration};
 use std::fmt::Write as _;
 
@@ -47,6 +47,9 @@ pub struct NodeProfile {
     pub token: VirtualDuration,
     /// Load-balancer traffic (issuing steal requests).
     pub steal: VirtualDuration,
+    /// Reliability-layer retransmissions issued from the watchdog (fault
+    /// plans only; always zero on a fault-free run).
+    pub retransmit: VirtualDuration,
     /// Synchronization Unit time (dual-processor nodes only).
     pub su: VirtualDuration,
     /// Handling cost of synchronous-class messages (`GET_SYNC` requests).
@@ -62,7 +65,7 @@ pub struct NodeProfile {
 impl NodeProfile {
     /// Total Execution Unit time — equals `NodeStats::busy` exactly.
     pub fn eu_total(&self) -> VirtualDuration {
-        self.poll + self.thread + self.token + self.steal
+        self.poll + self.thread + self.token + self.steal + self.retransmit
     }
 
     /// Total message-handling time — equals `poll + su` exactly.
@@ -108,6 +111,9 @@ pub struct RunProfile {
     pub su_spans: Vec<Span>,
     /// Sender-link occupancy intervals from the network.
     pub links: Vec<LinkSpan>,
+    /// Fault-plane decisions that fired (drops, duplicates, delays), in
+    /// injection order. Empty without a fault plan.
+    pub fault_events: Vec<FaultEvent>,
     /// Longest chain of message/thread dependencies in the run — the
     /// inherent serial bottleneck no amount of nodes can beat.
     pub critical_path: VirtualDuration,
@@ -127,7 +133,7 @@ impl RunProfile {
         for (i, (p, s)) in self.nodes.iter().zip(&report.nodes).enumerate() {
             if p.eu_total() != s.busy {
                 return Err(format!(
-                    "node {i}: poll+thread+token+steal = {} but busy = {}",
+                    "node {i}: poll+thread+token+steal+retransmit = {} but busy = {}",
                     p.eu_total(),
                     s.busy
                 ));
@@ -182,13 +188,14 @@ impl RunProfile {
         b.push("token run", sum(|p| p.token));
         b.push("poll service", sum(|p| p.poll));
         b.push("steal traffic", sum(|p| p.steal));
+        b.push("retransmit", sum(|p| p.retransmit));
         b.push("SU service", sum(|p| p.su));
         out.push_str(&b.render("us"));
         let _ = writeln!(out, "message handling by class:");
         let class = |f: fn(&NodeProfile) -> ClassCost| -> (u64, f64) {
             self.nodes
                 .iter()
-                .map(|p| f(p))
+                .map(&f)
                 .fold((0, 0.0), |(n, t), c| (n + c.msgs, t + c.time.as_us_f64()))
         };
         for (label, (msgs, us)) in [
@@ -234,6 +241,7 @@ mod tests {
             trace: Trace::default(),
             su_spans: Vec::new(),
             links: Vec::new(),
+            fault_events: Vec::new(),
             critical_path: us(50),
         };
         let report = RunReport {
@@ -248,6 +256,9 @@ mod tests {
             net_messages: 0,
             net_bytes: 0,
             link_waits: 0,
+            net_dropped: 0,
+            net_duplicated: 0,
+            net_delayed: 0,
             leftover_tokens: 0,
             live_frames: 0,
         };
@@ -318,6 +329,7 @@ mod tests {
             "token run",
             "poll service",
             "steal traffic",
+            "retransmit",
             "SU service",
             "sync ops",
             "async ops",

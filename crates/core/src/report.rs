@@ -28,6 +28,12 @@ pub struct NodeStats {
     /// Signals addressed to frames that no longer existed (indicates an
     /// application protocol bug; always 0 in a correct program).
     pub dropped_signals: u64,
+    /// Messages this node retransmitted after an ack timeout (fault
+    /// plans only; always 0 on a fault-free run).
+    pub retransmits: u64,
+    /// Duplicate deliveries this node's NIC suppressed (fault plans
+    /// only; always 0 on a fault-free run).
+    pub dup_suppressed: u64,
 }
 
 /// Result of running a simulation to quiescence.
@@ -48,6 +54,12 @@ pub struct RunReport {
     pub net_bytes: u64,
     /// Messages that queued on a busy sender link.
     pub link_waits: u64,
+    /// Messages the fault plane dropped (0 without a fault plan).
+    pub net_dropped: u64,
+    /// Messages the fault plane duplicated (0 without a fault plan).
+    pub net_duplicated: u64,
+    /// Messages the fault plane delayed (0 without a fault plan).
+    pub net_delayed: u64,
     /// Tokens never executed (0 after a clean run).
     pub leftover_tokens: u64,
     /// Frames still live at quiescence (0 after a clean run).
@@ -78,6 +90,21 @@ impl RunReport {
         self.total_busy().as_us_f64() / (self.elapsed.as_us_f64() * self.nodes.len() as f64)
     }
 
+    /// Total retransmissions across all nodes (fault plans only).
+    pub fn total_retransmits(&self) -> u64 {
+        self.nodes.iter().map(|n| n.retransmits).sum()
+    }
+
+    /// Total NIC-suppressed duplicate deliveries across all nodes.
+    pub fn total_dup_suppressed(&self) -> u64 {
+        self.nodes.iter().map(|n| n.dup_suppressed).sum()
+    }
+
+    /// True when the fault plane perturbed this run at all.
+    pub fn had_faults(&self) -> bool {
+        self.net_dropped + self.net_duplicated + self.net_delayed > 0
+    }
+
     /// True when the run left no dangling work or frames behind.
     pub fn is_clean(&self) -> bool {
         self.leftover_tokens == 0
@@ -97,7 +124,20 @@ impl fmt::Display for RunReport {
             self.net_bytes,
             self.total_threads(),
             self.utilization() * 100.0
-        )
+        )?;
+        // Fault-free runs keep the historical one-line format exactly.
+        if self.had_faults() {
+            writeln!(
+                f,
+                "faults: dropped {}  duplicated {}  delayed {}  retransmits {}  dups suppressed {}",
+                self.net_dropped,
+                self.net_duplicated,
+                self.net_delayed,
+                self.total_retransmits(),
+                self.total_dup_suppressed()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -125,6 +165,9 @@ mod tests {
             net_messages: 4,
             net_bytes: 64,
             link_waits: 0,
+            net_dropped: 0,
+            net_duplicated: 0,
+            net_delayed: 0,
             leftover_tokens: 0,
             live_frames: 0,
         }
@@ -144,6 +187,25 @@ mod tests {
         let r = report();
         assert_eq!(r.mark("done"), Some(VirtualTime::from_ns(5_000)));
         assert_eq!(r.mark("missing"), None);
+    }
+
+    #[test]
+    fn display_mentions_faults_only_when_they_fired() {
+        let clean = format!("{}", report());
+        assert!(!clean.contains("faults"), "{clean}");
+        let mut r = report();
+        r.net_dropped = 3;
+        r.nodes[0].retransmits = 4;
+        r.nodes[1].dup_suppressed = 1;
+        let s = format!("{r}");
+        assert!(s.starts_with(&clean), "base line must stay identical");
+        assert!(s.contains("dropped 3"), "{s}");
+        assert!(s.contains("retransmits 4"), "{s}");
+        assert!(s.contains("dups suppressed 1"), "{s}");
+        assert_eq!(r.total_retransmits(), 4);
+        assert_eq!(r.total_dup_suppressed(), 1);
+        assert!(r.had_faults());
+        assert!(r.is_clean(), "fault counters do not dirty a run");
     }
 
     #[test]

@@ -16,9 +16,10 @@ use crate::frame::{FrameStore, ThreadedFn};
 use crate::msg::{FuncId, Msg};
 use crate::node::{Node, Token};
 use crate::profile::{ProfileState, RunProfile};
+use crate::reli::{Envelope, Pending, ReliLayer, ACK_WIRE, ENV_BYTES};
 use crate::report::RunReport;
 use crate::trace::{Activity, Span, Trace};
-use earth_machine::{MachineConfig, Network, NodeId, OpClass};
+use earth_machine::{MachineConfig, NetFate, Network, NodeId, OpClass};
 use earth_sim::{EventQueue, Rng, VirtualDuration, VirtualTime};
 
 /// Default per-node memory: MANNA's 32 MB.
@@ -30,9 +31,13 @@ pub const DEFAULT_MAX_EVENTS: u64 = 200_000_000;
 
 pub(crate) enum Event {
     /// A message arriving at a node's NIC, tagged with the length of the
-    /// dependency chain behind it (critical-path accounting).
-    Deliver(NodeId, Msg, VirtualDuration),
+    /// dependency chain behind it (critical-path accounting) and, under a
+    /// fault plan, the reliability envelope it travelled with.
+    Deliver(NodeId, Msg, VirtualDuration, Option<Envelope>),
     Wake(NodeId),
+    /// A retransmission deadline on one of `NodeId`'s unacked messages
+    /// may have passed; wake it if it is idle (fault plans only).
+    RetryCheck(NodeId),
 }
 
 type Ctor = Box<dyn Fn(&mut ArgsReader<'_>) -> Box<dyn ThreadedFn>>;
@@ -55,6 +60,9 @@ pub struct Runtime {
     trace: Option<Trace>,
     /// Optional overhead-accounting collector (earth-profile).
     profile: Option<ProfileState>,
+    /// Reliability layer — `Some` exactly when the machine has a fault
+    /// plan installed; fault-free runs never touch it.
+    reli: Option<ReliLayer>,
     /// Longest message/thread dependency chain observed so far. Tracked
     /// unconditionally: it is a pure observation and costs no virtual time.
     max_cp: VirtualDuration,
@@ -68,9 +76,14 @@ impl Runtime {
             .map(|i| Node::new(NODE_MEMORY, master.fork(i as u64)))
             .collect();
         let net_seed = master.next_u64();
+        let net = Network::new(cfg, net_seed);
+        let reli = net
+            .fault_rto()
+            .map(|rto| ReliLayer::new(net.config().nodes, rto));
         Runtime {
             nodes,
-            net: Network::new(cfg, net_seed),
+            net,
+            reli,
             events: EventQueue::new(),
             funcs: Vec::new(),
             global_tokens: 0,
@@ -116,6 +129,7 @@ impl Runtime {
             trace: self.take_trace(),
             su_spans: st.su_spans,
             links: self.net.take_occupancy(),
+            fault_events: self.net.take_fault_events(),
             critical_path: self.max_cp,
         }
     }
@@ -204,7 +218,12 @@ impl Runtime {
     pub fn inject_invoke(&mut self, node: NodeId, func: FuncId, args: Box<[u8]>) {
         self.events.push(
             VirtualTime::ZERO,
-            Event::Deliver(node, Msg::Invoke { func, args }, VirtualDuration::ZERO),
+            Event::Deliver(
+                node,
+                Msg::Invoke { func, args },
+                VirtualDuration::ZERO,
+                None,
+            ),
         );
     }
 
@@ -218,7 +237,7 @@ impl Runtime {
         self.global_tokens += 1;
         self.events.push(
             VirtualTime::ZERO,
-            Event::Deliver(node, Msg::Token { func, args }, VirtualDuration::ZERO),
+            Event::Deliver(node, Msg::Token { func, args }, VirtualDuration::ZERO, None),
         );
     }
 
@@ -232,8 +251,9 @@ impl Runtime {
                 self.processed
             );
             match ev {
-                Event::Deliver(node, msg, cp) => self.deliver(t, node, msg, cp),
+                Event::Deliver(node, msg, cp, env) => self.deliver(t, node, msg, cp, env),
                 Event::Wake(node) => self.wake(t, node),
+                Event::RetryCheck(node) => self.retry_check(t, node),
             }
         }
         self.report()
@@ -249,6 +269,9 @@ impl Runtime {
             net_messages: net.messages,
             net_bytes: net.bytes,
             link_waits: net.link_waits,
+            net_dropped: net.dropped,
+            net_duplicated: net.duplicated,
+            net_delayed: net.delayed,
             leftover_tokens: self.global_tokens,
             live_frames: self.nodes.iter().map(|n| n.frames.live as u64).sum(),
         }
@@ -269,20 +292,162 @@ impl Runtime {
         msg: Msg,
         cp: VirtualDuration,
     ) {
+        if self.reli.is_some() && src != dst {
+            if matches!(msg, Msg::Ack { .. }) {
+                // Acks ride the faulty network unprotected: a dropped ack
+                // costs one more retransmission, which the receiver dedups
+                // and re-acks; a duplicated ack's second removal is a no-op.
+                let r = self.net.send_resolved(at, src, dst, msg.wire_size());
+                self.nodes[src.index()].stats.msgs_out += 1;
+                match r.fate {
+                    NetFate::Delivered { arrive } => self.events.push(
+                        arrive,
+                        Event::Deliver(dst, msg, cp + arrive.since(r.depart), None),
+                    ),
+                    NetFate::Dropped => {}
+                    NetFate::Duplicated { first, second } => {
+                        self.events.push(
+                            first,
+                            Event::Deliver(dst, msg.clone(), cp + first.since(r.depart), None),
+                        );
+                        self.events.push(
+                            second,
+                            Event::Deliver(dst, msg, cp + second.since(r.depart), None),
+                        );
+                    }
+                }
+            } else {
+                self.transmit_reliable(at, src, dst, msg, cp, None);
+            }
+            return;
+        }
         let d = self.net.send_detailed(at, src, dst, msg.wire_size());
         self.nodes[src.index()].stats.msgs_out += 1;
         self.events.push(
             d.arrive,
-            Event::Deliver(dst, msg, cp + d.arrive.since(d.depart)),
+            Event::Deliver(dst, msg, cp + d.arrive.since(d.depart), None),
         );
     }
 
-    fn deliver(&mut self, t: VirtualTime, node: NodeId, msg: Msg, cp: VirtualDuration) {
+    /// Send `msg` under the reliability layer: sequence-numbered envelope,
+    /// kept by the sender until acked, retransmitted on deadline. `resend`
+    /// is `None` for a fresh send (allocates the sequence number) or
+    /// `Some((seq, attempts))` for a retransmission of a held message.
+    fn transmit_reliable(
+        &mut self,
+        at: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        msg: Msg,
+        cp: VirtualDuration,
+        resend: Option<(u64, u32)>,
+    ) {
+        let r = self
+            .net
+            .send_resolved(at, src, dst, msg.wire_size() + ENV_BYTES);
+        self.nodes[src.index()].stats.msgs_out += 1;
+        let (seq, attempts) = match resend {
+            Some(sa) => sa,
+            None => (self.reli.as_mut().unwrap().alloc_seq(src, dst), 0),
+        };
+        // Deadline: the fault-free arrival estimate (link queueing and
+        // latency spikes included) plus the ack's return-leg transfer time
+        // plus the backoff margin. Receiver service time is *not* in the
+        // ack path — the NIC acks on arrival — so this stays tight.
+        let ack_leg = self.config().transfer_time(dst, src, ACK_WIRE);
+        let reli = self.reli.as_mut().unwrap();
+        let deadline = r.expected + ack_leg + reli.backoff(attempts);
+        match reli.unacked[src.index()].entry((dst.0, seq)) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(Pending {
+                    msg: msg.clone(),
+                    cp,
+                    attempts,
+                    deadline,
+                });
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                e.get_mut().deadline = deadline;
+            }
+        }
+        let env = Some(Envelope { src, seq });
+        match r.fate {
+            NetFate::Delivered { arrive } => self.events.push(
+                arrive,
+                Event::Deliver(dst, msg, cp + arrive.since(r.depart), env),
+            ),
+            NetFate::Dropped => {}
+            NetFate::Duplicated { first, second } => {
+                self.events.push(
+                    first,
+                    Event::Deliver(dst, msg.clone(), cp + first.since(r.depart), env),
+                );
+                self.events.push(
+                    second,
+                    Event::Deliver(dst, msg, cp + second.since(r.depart), env),
+                );
+            }
+        }
+        self.events.push(deadline, Event::RetryCheck(src));
+    }
+
+    fn deliver(
+        &mut self,
+        t: VirtualTime,
+        node: NodeId,
+        msg: Msg,
+        cp: VirtualDuration,
+        env: Option<Envelope>,
+    ) {
+        if let Some(env) = env {
+            // NIC-level protocol, costing no EU time (mirrors the EARTH
+            // NIC/SU handling hardware-level flow control): ack every copy
+            // seen — the ack for an earlier copy may itself have been
+            // lost — then suppress duplicates before they reach the
+            // runtime. An ack starts a fresh dependency chain: no
+            // application event ever waits on one.
+            self.transmit(
+                t,
+                node,
+                env.src,
+                Msg::Ack {
+                    from: node,
+                    seq: env.seq,
+                },
+                VirtualDuration::ZERO,
+            );
+            let fresh = self
+                .reli
+                .as_mut()
+                .unwrap()
+                .note_received(node, env.src, env.seq);
+            if !fresh {
+                self.nodes[node.index()].stats.dup_suppressed += 1;
+                return;
+            }
+        }
         let n = &mut self.nodes[node.index()];
         n.pending.push_back((msg, cp));
         if !n.busy && !n.wake_pending {
             n.wake_pending = true;
             self.events.push(t, Event::Wake(node));
+        }
+    }
+
+    /// A retransmission deadline for `node` may have passed: wake it if it
+    /// is idle so its watchdog can resend. Stale checks (the message was
+    /// acked, or an earlier round already resent it) cost nothing.
+    fn retry_check(&mut self, t: VirtualTime, node: NodeId) {
+        let due = self
+            .reli
+            .as_ref()
+            .is_some_and(|r| r.unacked[node.index()].values().any(|p| p.deadline <= t));
+        if due {
+            let n = &mut self.nodes[node.index()];
+            if !n.busy && !n.wake_pending {
+                n.wake_pending = true;
+                self.events.push(t, Event::Wake(node));
+            }
         }
     }
 
@@ -297,6 +462,17 @@ impl Runtime {
 
     /// One scheduling round: poll, then run one thread / token, or steal.
     fn schedule(&mut self, t: VirtualTime, node: NodeId) {
+        // Planned node pause (fault plans only): the node stalls between
+        // rounds — no polling, no threads, no retransmits. Deliveries
+        // queue at the NIC; the wake at the window's end rechecks, so
+        // overlapping windows chain naturally. A pure stall performs no
+        // activity and so never extends the run's `last_activity`.
+        if let Some(resume) = self.net.pause_until(node, t) {
+            let n = &mut self.nodes[node.index()];
+            n.wake_pending = true;
+            self.events.push(resume, Event::Wake(node));
+            return;
+        }
         let costs = self.config().earth;
         let mut elapsed = VirtualDuration::ZERO;
 
@@ -347,6 +523,45 @@ impl Runtime {
             prof.nodes[node.index()].poll += after_poll;
         }
 
+        // Retransmission service (fault plans only): the polling watchdog
+        // doubles as the timeout timer. Resend every held message whose
+        // deadline has passed, charging one op_send each on the EU.
+        if self.reli.is_some() {
+            let due: Vec<(u16, u64)> = self.reli.as_ref().unwrap().unacked[node.index()]
+                .iter()
+                .filter(|(_, p)| p.deadline <= t)
+                .map(|(&key, _)| key)
+                .collect();
+            for (dst, seq) in due {
+                let (msg, cp, attempts) = {
+                    let p = self.reli.as_mut().unwrap().unacked[node.index()]
+                        .get_mut(&(dst, seq))
+                        .expect("due entry vanished without an ack");
+                    p.attempts += 1;
+                    (p.msg.clone(), p.cp, p.attempts)
+                };
+                self.nodes[node.index()].stats.retransmits += 1;
+                elapsed += costs.op_send;
+                self.transmit_reliable(
+                    t + elapsed,
+                    node,
+                    NodeId(dst),
+                    msg,
+                    cp,
+                    Some((seq, attempts)),
+                );
+            }
+        }
+        let after_retr = elapsed;
+        if after_retr > after_poll {
+            if let Some(tr) = self.trace.as_mut() {
+                tr.record(node, t + after_poll, t + after_retr, Activity::Retransmit);
+            }
+            if let Some(prof) = self.profile.as_mut() {
+                prof.nodes[node.index()].retransmit += after_retr - after_poll;
+            }
+        }
+
         let mut activity = Activity::Poll;
         if let Some((frame, tid, cp)) = self.nodes[node.index()].ready.pop_front() {
             elapsed += costs.thread_switch;
@@ -365,19 +580,21 @@ impl Runtime {
             activity = Activity::Steal;
         }
         if let Some(tr) = self.trace.as_mut() {
-            if elapsed > after_poll {
-                tr.record(node, t + after_poll, t + elapsed, activity);
+            if elapsed > after_retr {
+                tr.record(node, t + after_retr, t + elapsed, activity);
             }
         }
         if let Some(prof) = self.profile.as_mut() {
-            let run = elapsed - after_poll;
+            let run = elapsed - after_retr;
             if !run.is_zero() {
                 let p = &mut prof.nodes[node.index()];
                 match activity {
                     Activity::Thread => p.thread += run,
                     Activity::TokenRun => p.token += run,
                     Activity::Steal => p.steal += run,
-                    Activity::Poll | Activity::Su => unreachable!("no post-poll work"),
+                    Activity::Poll | Activity::Su | Activity::Retransmit => {
+                        unreachable!("no post-poll work")
+                    }
                 }
             }
         }
@@ -571,6 +788,13 @@ impl Runtime {
                     n.wake_pending = true;
                     let when = n.steal_cooldown;
                     self.events.push(when, Event::Wake(node));
+                }
+            }
+            Msg::Ack { from, seq } => {
+                if let Some(reli) = self.reli.as_mut() {
+                    // Release the held message; a stale ack (already
+                    // released by an earlier copy) removes nothing.
+                    reli.unacked[node.index()].remove(&(from.0, seq));
                 }
             }
         }

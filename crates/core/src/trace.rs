@@ -24,6 +24,8 @@ pub enum Activity {
     TokenRun,
     /// Load-balancer traffic (steal requests).
     Steal,
+    /// Reliability-layer retransmissions (fault plans only).
+    Retransmit,
     /// Synchronization Unit message service (dual-processor mode; only
     /// appears in earth-profile's SU spans, never in the EU trace).
     Su,
@@ -78,7 +80,7 @@ impl Trace {
 
     /// Render a text Gantt: one row per node, `width` columns spanning
     /// the trace; `#` thread execution, `t` token runs, `s` stealing,
-    /// `u` SU service, `.` polling, space idle.
+    /// `r` retransmissions, `u` SU service, `.` polling, space idle.
     pub fn timeline(&self, nodes: u16, width: usize) -> String {
         assert!(width >= 10);
         let end = self
@@ -102,6 +104,7 @@ impl Trace {
                     Activity::TokenRun => b't',
                     Activity::Poll => b'.',
                     Activity::Steal => b's',
+                    Activity::Retransmit => b'r',
                     Activity::Su => b'u',
                 };
                 for cell in row.iter_mut().take(b.min(width)).skip(a) {
@@ -109,9 +112,10 @@ impl Trace {
                     // its own rank, so a steal marker is never hidden by a
                     // poll span covering the same columns.
                     let rank = |c: u8| match c {
-                        b'#' => 5,
-                        b't' => 4,
-                        b's' => 3,
+                        b'#' => 6,
+                        b't' => 5,
+                        b's' => 4,
+                        b'r' => 3,
                         b'u' => 2,
                         b'.' => 1,
                         _ => 0,
@@ -199,12 +203,13 @@ mod tests {
 
     #[test]
     fn every_activity_has_a_distinct_rank() {
-        // All five activities stacked on the same interval: the busiest
+        // All six activities stacked on the same interval: the busiest
         // ('#') wins, and removing it promotes the next rank, so no two
         // activities can silently tie.
         let acts = [
             (Activity::Poll, '.'),
             (Activity::Su, 'u'),
+            (Activity::Retransmit, 'r'),
             (Activity::Steal, 's'),
             (Activity::TokenRun, 't'),
             (Activity::Thread, '#'),

@@ -1,0 +1,147 @@
+//! Exactly-once property tests for the reliability layer: under
+//! arbitrary generated drop/duplicate/reorder schedules, every
+//! split-phase operation class (GET_SYNC, DATA_SYNC, BLKMOV, INVOKE,
+//! token traffic) must complete exactly once — the run terminates
+//! cleanly, the memory image equals the fault-free run's, and a
+//! same-(seed, plan) rerun replays byte-identically.
+
+use earth_machine::{FaultPlan, MachineConfig, NodeId};
+use earth_rt::{
+    ArgsReader, ArgsWriter, Ctx, FuncId, GlobalAddr, RunReport, Runtime, SlotId, ThreadId,
+    ThreadedFn,
+};
+use earth_sim::VirtualDuration;
+use earth_testkit::domain::fault_plan;
+use earth_testkit::prelude::*;
+
+const TOKENS: u32 = 10;
+
+/// One unit of work: fetch 8 bytes from node 0 (GET_SYNC), compute,
+/// then write its index marker through all three write paths — BLKMOV
+/// into `dst[idx]`, DATA_SYNC into `dst[TOKENS + idx]`, and a remote
+/// INVOKE whose body writes `dst[2*TOKENS + idx]`.
+struct Worker {
+    idx: u32,
+    src: GlobalAddr,
+    dst: GlobalAddr,
+    sink: FuncId,
+    scratch: u32,
+}
+
+impl ThreadedFn for Worker {
+    fn run(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId) {
+        match tid {
+            ThreadId(0) => {
+                self.scratch = ctx.alloc(16).offset;
+                ctx.init_sync(SlotId(0), 1, 0, ThreadId(1));
+                ctx.get_sync(self.src, self.scratch, 8, SlotId(0));
+            }
+            ThreadId(1) => {
+                ctx.compute(VirtualDuration::from_us(10));
+                ctx.write_local(self.scratch + 8, &[self.idx as u8]);
+                ctx.init_sync(SlotId(1), 1, 0, ThreadId(2));
+                let done = ctx.slot_ref(SlotId(1));
+                ctx.blkmov(self.scratch + 8, 1, self.dst.plus(self.idx), Some(done));
+            }
+            ThreadId(2) => {
+                ctx.data_sync(&[self.idx as u8], self.dst.plus(TOKENS + self.idx), None);
+                let target = NodeId(1 + (self.idx as u16 % (ctx.num_nodes() - 1)));
+                let mut a = ArgsWriter::new();
+                a.addr(self.dst.plus(2 * TOKENS + self.idx))
+                    .u8(self.idx as u8);
+                ctx.invoke(target, self.sink, a.finish());
+                ctx.end();
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+struct Sink {
+    dst: GlobalAddr,
+    v: u8,
+}
+
+impl ThreadedFn for Sink {
+    fn run(&mut self, ctx: &mut Ctx<'_>, _tid: ThreadId) {
+        ctx.data_sync(&[self.v], self.dst, None);
+        ctx.end();
+    }
+}
+
+/// Run the workload; returns the final marker memory and the report.
+fn workload(nodes: u16, seed: u64, plan: Option<&FaultPlan>) -> (Vec<u8>, RunReport) {
+    let mut cfg = MachineConfig::manna(nodes);
+    if let Some(p) = plan {
+        cfg = cfg.with_faults(p.clone());
+    }
+    let mut rt = Runtime::new(cfg, seed);
+    let sink = rt.register("sink", |a: &mut ArgsReader<'_>| {
+        Box::new(Sink {
+            dst: a.addr(),
+            v: a.u8(),
+        })
+    });
+    let src = rt.alloc_on(NodeId(0), 8);
+    rt.write_mem(src, &0xBEEF_F00D_u64.to_le_bytes());
+    let dst = rt.alloc_on(NodeId(0), 3 * TOKENS);
+    let worker = rt.register("worker", move |a: &mut ArgsReader<'_>| {
+        Box::new(Worker {
+            idx: a.u32(),
+            src: a.addr(),
+            dst: a.addr(),
+            sink,
+            scratch: 0,
+        })
+    });
+    for i in 0..TOKENS {
+        let mut a = ArgsWriter::new();
+        a.u32(i).addr(src).addr(dst);
+        rt.inject_token(worker, a.finish());
+    }
+    let report = rt.run();
+    (rt.read_mem(dst, 3 * TOKENS), report)
+}
+
+fn expected_markers() -> Vec<u8> {
+    let mut want = Vec::new();
+    for _ in 0..3 {
+        want.extend((0..TOKENS).map(|i| i as u8));
+    }
+    want
+}
+
+props! {
+    #![config(Config::with_cases(12))]
+
+    #[test]
+    fn every_op_class_is_exactly_once_under_arbitrary_loss(
+        plan in fault_plan(0.12, 0.08),
+        nodes in 2u16..6,
+        seed in any::<u64>(),
+    ) {
+        let (clean_mem, clean_report) = workload(nodes, seed, None);
+        prop_assert_eq!(&clean_mem, &expected_markers(), "fault-free baseline broken");
+        let (mem, report) = workload(nodes, seed, Some(&plan));
+        prop_assert_eq!(
+            &mem, &clean_mem,
+            "lost or duplicated op corrupted the memory image (nodes {}, seed {})",
+            nodes, seed
+        );
+        prop_assert!(report.is_clean(), "faulted run left live frames or tokens");
+        prop_assert_eq!(clean_report.is_clean(), report.is_clean());
+    }
+
+    #[test]
+    fn faulted_runs_replay_byte_identically(
+        plan in fault_plan(0.12, 0.08),
+        nodes in 2u16..6,
+        seed in any::<u64>(),
+    ) {
+        let (mem_a, rep_a) = workload(nodes, seed, Some(&plan));
+        let (mem_b, rep_b) = workload(nodes, seed, Some(&plan));
+        prop_assert_eq!(mem_a, mem_b);
+        prop_assert_eq!(format!("{rep_a:?}"), format!("{rep_b:?}"));
+        prop_assert_eq!(format!("{rep_a}"), format!("{rep_b}"));
+    }
+}

@@ -1,0 +1,607 @@
+//! # earth-faults
+//!
+//! A declarative, seeded fault plane over the simulated MANNA network.
+//!
+//! The paper's Fig. 5 methodology stresses communication *cost* — every
+//! message still arrives exactly once. This crate extends the same
+//! deterministic machinery to communication *failure*: a [`FaultPlan`]
+//! describes per-link message drop / duplicate / reorder probabilities,
+//! latency-spike and link-brownout windows, and per-node pause (stall)
+//! intervals. `earth-machine` compiles the plan into a [`FaultState`]
+//! and consults it on every remote send; `earth-rt` layers sequence
+//! numbers, receiver-side dedup, and ack/timeout/retransmit on top so
+//! applications still complete with bit-identical results.
+//!
+//! ## Determinism
+//!
+//! Every probabilistic decision is drawn from a *counter-based*
+//! SplitMix64 stream: the fate of the `k`-th message on link
+//! `src → dst` is a pure function of `(seed, src, dst, k)`. No shared
+//! generator state exists, so the fate of one link's traffic can never
+//! perturb another link's draws, and the fault schedule is independent
+//! of cross-link event interleaving. The same `(seed, plan)` therefore
+//! always yields the same fault schedule — byte-identical reports,
+//! rerun forever.
+//!
+//! A trivial plan ([`FaultPlan::none`], or any plan whose probabilities
+//! and windows are all empty) is normalized away at install time
+//! (`MachineConfig::with_faults`), so the hook is provably free when
+//! unused: not a single extra branch, draw, or byte differs from a run
+//! with no fault plane at all.
+
+use earth_sim::{VirtualDuration, VirtualTime};
+
+/// SplitMix64 finalizer (Steele, Lea & Flood): one round of the standard
+/// mixer. Used both to seed the counter-based draws and to expand one
+/// key into several independent decision words.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` with 53 bits of precision from one raw word.
+#[inline]
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Per-link fault probabilities. All probabilities are per-message and
+/// must lie in `[0, 1)` — a probability of exactly 1 would make
+/// reliable delivery impossible and the simulation non-terminating.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkProbs {
+    /// Probability a message is silently lost in the fabric.
+    pub drop: f64,
+    /// Probability the fabric delivers a second copy of a message.
+    pub duplicate: f64,
+    /// Probability a message is held back by an extra uniform delay in
+    /// `(0, reorder_window]`, letting later traffic overtake it.
+    pub reorder: f64,
+}
+
+impl LinkProbs {
+    /// No faults on this link.
+    pub const NONE: LinkProbs = LinkProbs {
+        drop: 0.0,
+        duplicate: 0.0,
+        reorder: 0.0,
+    };
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("drop", self.drop),
+            ("duplicate", self.duplicate),
+            ("reorder", self.reorder),
+        ] {
+            assert!(
+                (0.0..1.0).contains(&p),
+                "{name} probability {p} outside [0, 1)"
+            );
+        }
+    }
+
+    fn is_trivial(&self) -> bool {
+        self.drop == 0.0 && self.duplicate == 0.0 && self.reorder == 0.0
+    }
+}
+
+/// A latency-spike window: while `start <= now < end`, every message's
+/// flight latency is multiplied by `factor` (≥ 1.0). Models transient
+/// fabric congestion.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpikeWindow {
+    /// Window start (inclusive).
+    pub start: VirtualTime,
+    /// Window end (exclusive).
+    pub end: VirtualTime,
+    /// Flight-latency multiplier (≥ 1.0).
+    pub factor: f64,
+}
+
+/// A link-brownout window: while `start <= now < end`, every message
+/// injected on the affected link (or on all links when `link` is
+/// `None`) is dropped. Models a transiently dead cable or switch port.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BrownoutWindow {
+    /// Window start (inclusive).
+    pub start: VirtualTime,
+    /// Window end (exclusive).
+    pub end: VirtualTime,
+    /// Affected `(src, dst)` link, or `None` for every link.
+    pub link: Option<(u16, u16)>,
+}
+
+/// A per-node pause (stall) interval: while `start <= now < end` the
+/// node schedules no work — no polling, no threads, no retransmits.
+/// Delivered messages queue at its NIC until the pause ends. Models a
+/// node lost to an OS hiccup or checkpoint stall.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PauseWindow {
+    /// The stalled node.
+    pub node: u16,
+    /// Stall start (inclusive).
+    pub start: VirtualTime,
+    /// Stall end (exclusive).
+    pub end: VirtualTime,
+}
+
+/// Declarative description of every fault the network should inject.
+///
+/// Built with the `with_*` methods; installed with
+/// `MachineConfig::with_faults`. A plan where nothing can ever fire
+/// ([`FaultPlan::is_trivial`]) is normalized to "no fault plane" at
+/// install time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Fault probabilities applied to every link without an override.
+    pub default_probs: LinkProbs,
+    /// Per-link `(src, dst, probs)` overrides (first match wins).
+    pub link_overrides: Vec<(u16, u16, LinkProbs)>,
+    /// Upper bound of the extra delay drawn for reordered messages and
+    /// of the skew between duplicate copies.
+    pub reorder_window: VirtualDuration,
+    /// Latency-spike windows.
+    pub spikes: Vec<SpikeWindow>,
+    /// Link-brownout windows.
+    pub brownouts: Vec<BrownoutWindow>,
+    /// Per-node pause intervals.
+    pub pauses: Vec<PauseWindow>,
+    /// Base retransmission timeout margin used by the runtime's
+    /// reliability layer (added on top of the expected round trip,
+    /// doubling per attempt).
+    pub rto: VirtualDuration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing. Installing it is byte-identical
+    /// to installing no plan at all.
+    pub fn none() -> Self {
+        FaultPlan {
+            default_probs: LinkProbs::NONE,
+            link_overrides: Vec::new(),
+            reorder_window: VirtualDuration::from_us(20),
+            spikes: Vec::new(),
+            brownouts: Vec::new(),
+            pauses: Vec::new(),
+            rto: VirtualDuration::from_us(250),
+        }
+    }
+
+    /// Alias for [`FaultPlan::none`] reading better as a builder seed.
+    pub fn new() -> Self {
+        FaultPlan::none()
+    }
+
+    /// Set the default per-message drop probability on every link.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.default_probs.drop = p;
+        self.default_probs.validate();
+        self
+    }
+
+    /// Set the default per-message duplication probability.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.default_probs.duplicate = p;
+        self.default_probs.validate();
+        self
+    }
+
+    /// Set the default per-message reorder probability (an extra delay
+    /// drawn uniformly from `(0, reorder_window]`).
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        self.default_probs.reorder = p;
+        self.default_probs.validate();
+        self
+    }
+
+    /// Set the reorder/duplicate-skew window.
+    pub fn with_reorder_window(mut self, w: VirtualDuration) -> Self {
+        assert!(!w.is_zero(), "reorder window must be positive");
+        self.reorder_window = w;
+        self
+    }
+
+    /// Override the fault probabilities of one `src → dst` link.
+    pub fn with_link(mut self, src: u16, dst: u16, probs: LinkProbs) -> Self {
+        probs.validate();
+        self.link_overrides.push((src, dst, probs));
+        self
+    }
+
+    /// Add a latency-spike window multiplying flight latency by `factor`.
+    pub fn with_latency_spike(mut self, start: VirtualTime, end: VirtualTime, factor: f64) -> Self {
+        assert!(end > start, "spike window must be non-empty");
+        assert!(factor >= 1.0, "spike factor must be at least 1.0");
+        self.spikes.push(SpikeWindow { start, end, factor });
+        self
+    }
+
+    /// Add a brownout window dropping every message on every link.
+    pub fn with_brownout(mut self, start: VirtualTime, end: VirtualTime) -> Self {
+        assert!(end > start, "brownout window must be non-empty");
+        self.brownouts.push(BrownoutWindow {
+            start,
+            end,
+            link: None,
+        });
+        self
+    }
+
+    /// Add a brownout window dropping every message on one link.
+    pub fn with_link_brownout(
+        mut self,
+        src: u16,
+        dst: u16,
+        start: VirtualTime,
+        end: VirtualTime,
+    ) -> Self {
+        assert!(end > start, "brownout window must be non-empty");
+        self.brownouts.push(BrownoutWindow {
+            start,
+            end,
+            link: Some((src, dst)),
+        });
+        self
+    }
+
+    /// Add a pause (stall) interval for one node.
+    pub fn with_node_pause(mut self, node: u16, start: VirtualTime, end: VirtualTime) -> Self {
+        assert!(end > start, "pause window must be non-empty");
+        self.pauses.push(PauseWindow { node, start, end });
+        self
+    }
+
+    /// Set the base retransmission timeout margin.
+    pub fn with_rto(mut self, rto: VirtualDuration) -> Self {
+        assert!(!rto.is_zero(), "rto must be positive");
+        self.rto = rto;
+        self
+    }
+
+    /// True when the plan can never inject anything: no probability is
+    /// positive and no window exists. Trivial plans are normalized to
+    /// "no fault plane installed" so the hook stays provably free.
+    pub fn is_trivial(&self) -> bool {
+        self.default_probs.is_trivial()
+            && self.link_overrides.iter().all(|(_, _, p)| p.is_trivial())
+            && self.spikes.is_empty()
+            && self.brownouts.is_empty()
+            && self.pauses.is_empty()
+    }
+
+    /// Effective probabilities for one link.
+    pub fn link_probs(&self, src: u16, dst: u16) -> LinkProbs {
+        self.link_overrides
+            .iter()
+            .find(|(s, d, _)| *s == src && *d == dst)
+            .map(|(_, _, p)| *p)
+            .unwrap_or(self.default_probs)
+    }
+
+    fn in_brownout(&self, now: VirtualTime, src: u16, dst: u16) -> bool {
+        self.brownouts.iter().any(|b| {
+            now >= b.start && now < b.end && b.link.map(|l| l == (src, dst)).unwrap_or(true)
+        })
+    }
+}
+
+/// What the fault plane decided for one injected message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fate {
+    /// Deliver normally.
+    Deliver,
+    /// Silently lose the message.
+    Drop,
+    /// Deliver the message and a second copy `skew` later.
+    Duplicate {
+        /// Extra delay of the duplicate copy relative to the original.
+        skew: VirtualDuration,
+    },
+    /// Deliver the message `extra` later than its natural arrival.
+    Delay {
+        /// The extra holding delay.
+        extra: VirtualDuration,
+    },
+}
+
+/// What kind of fault fired (the fault-event log / Chrome faults lane).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A message was dropped (probability or brownout).
+    Drop,
+    /// A message was duplicated.
+    Duplicate,
+    /// A message was held back (reorder delay).
+    Delay,
+}
+
+/// A [`FaultPlan`] compiled against a seed and a node count: the object
+/// the network consults on every remote send.
+#[derive(Clone, Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    seed: u64,
+    nodes: u16,
+    /// Per-link message counters indexing the counter-based stream.
+    counters: Vec<u64>,
+}
+
+impl FaultState {
+    /// Compile `plan` for a `nodes`-node machine. `seed` should come
+    /// from the machine's master seed through a dedicated salt so fault
+    /// draws never overlap the latency-jitter stream.
+    pub fn new(plan: FaultPlan, seed: u64, nodes: u16) -> Self {
+        let n = nodes as usize;
+        FaultState {
+            plan,
+            seed,
+            nodes,
+            counters: vec![0; n * n],
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide the fate of the next message on `src → dst` injected at
+    /// `now`. Advances the link's message counter; every decision is a
+    /// pure function of `(seed, src, dst, counter)`.
+    pub fn fate(&mut self, now: VirtualTime, src: u16, dst: u16) -> Fate {
+        let idx = src as usize * self.nodes as usize + dst as usize;
+        let k = self.counters[idx];
+        self.counters[idx] += 1;
+        if self.plan.in_brownout(now, src, dst) {
+            return Fate::Drop;
+        }
+        let probs = self.plan.link_probs(src, dst);
+        if probs.is_trivial() {
+            return Fate::Deliver;
+        }
+        // Counter-based stream: expand (seed, link, k) into independent
+        // decision words with the SplitMix64 finalizer.
+        let mut s = self.seed
+            ^ (src as u64) << 48
+            ^ (dst as u64) << 32
+            ^ k.wrapping_mul(0xA24B_AED4_963E_E407);
+        let d_drop = splitmix64(&mut s);
+        let d_dup = splitmix64(&mut s);
+        let d_reorder = splitmix64(&mut s);
+        let d_mag = splitmix64(&mut s);
+        if unit(d_drop) < probs.drop {
+            return Fate::Drop;
+        }
+        // Magnitude draw in (0, reorder_window]: never zero, so a
+        // duplicate copy always lands strictly after the original.
+        let mag_ns = 1 + (unit(d_mag) * self.plan.reorder_window.as_ns() as f64) as u64;
+        let mag = VirtualDuration::from_ns(mag_ns);
+        if unit(d_dup) < probs.duplicate {
+            return Fate::Duplicate { skew: mag };
+        }
+        if unit(d_reorder) < probs.reorder {
+            return Fate::Delay { extra: mag };
+        }
+        Fate::Deliver
+    }
+
+    /// Flight-latency multiplier in force at `now` (latency-spike
+    /// windows; overlapping windows take the largest factor).
+    pub fn latency_factor(&self, now: VirtualTime) -> f64 {
+        self.plan
+            .spikes
+            .iter()
+            .filter(|w| now >= w.start && now < w.end)
+            .map(|w| w.factor)
+            .fold(1.0, f64::max)
+    }
+
+    /// If `node` is paused at `t`, the instant its stall ends (the
+    /// furthest end among windows covering `t`); `None` when running.
+    pub fn pause_until(&self, node: u16, t: VirtualTime) -> Option<VirtualTime> {
+        self.plan
+            .pauses
+            .iter()
+            .filter(|w| w.node == node && t >= w.start && t < w.end)
+            .map(|w| w.end)
+            .max()
+    }
+
+    /// Base retransmission timeout margin from the plan.
+    pub fn rto(&self) -> VirtualDuration {
+        self.plan.rto
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> VirtualTime {
+        VirtualTime::from_ns(us * 1000)
+    }
+
+    #[test]
+    fn none_is_trivial_and_default() {
+        assert!(FaultPlan::none().is_trivial());
+        assert!(FaultPlan::default().is_trivial());
+        assert!(FaultPlan::new().with_drop(0.0).is_trivial());
+        assert!(!FaultPlan::new().with_drop(0.01).is_trivial());
+        assert!(!FaultPlan::new()
+            .with_node_pause(3, t(0), t(10))
+            .is_trivial());
+        assert!(!FaultPlan::new()
+            .with_latency_spike(t(0), t(10), 4.0)
+            .is_trivial());
+    }
+
+    #[test]
+    fn trivial_link_overrides_stay_trivial() {
+        let p = FaultPlan::new().with_link(0, 1, LinkProbs::NONE);
+        assert!(p.is_trivial());
+        let q = FaultPlan::new().with_link(
+            0,
+            1,
+            LinkProbs {
+                drop: 0.5,
+                ..LinkProbs::NONE
+            },
+        );
+        assert!(!q.is_trivial());
+    }
+
+    #[test]
+    fn same_seed_plan_same_schedule() {
+        let plan = FaultPlan::new()
+            .with_drop(0.2)
+            .with_duplicate(0.1)
+            .with_reorder(0.1);
+        let mut a = FaultState::new(plan.clone(), 99, 4);
+        let mut b = FaultState::new(plan, 99, 4);
+        for i in 0..500u64 {
+            let src = (i % 4) as u16;
+            let dst = ((i + 1) % 4) as u16;
+            assert_eq!(a.fate(t(i), src, dst), b.fate(t(i), src, dst));
+        }
+    }
+
+    #[test]
+    fn schedule_is_independent_of_link_interleaving() {
+        // The k-th message on link 0->1 gets the same fate whether or
+        // not other links carried traffic in between.
+        let plan = FaultPlan::new().with_drop(0.3).with_duplicate(0.2);
+        let mut alone = FaultState::new(plan.clone(), 7, 4);
+        let solo: Vec<Fate> = (0..100).map(|i| alone.fate(t(i), 0, 1)).collect();
+        let mut mixed = FaultState::new(plan, 7, 4);
+        let mut interleaved = Vec::new();
+        for i in 0..100u64 {
+            let _ = mixed.fate(t(i), 2, 3);
+            interleaved.push(mixed.fate(t(i), 0, 1));
+            let _ = mixed.fate(t(i), 1, 0);
+        }
+        assert_eq!(solo, interleaved);
+    }
+
+    #[test]
+    fn fates_actually_vary() {
+        let plan = FaultPlan::new()
+            .with_drop(0.25)
+            .with_duplicate(0.25)
+            .with_reorder(0.25);
+        let mut st = FaultState::new(plan, 3, 2);
+        let mut drops = 0;
+        let mut dups = 0;
+        let mut delays = 0;
+        let mut ok = 0;
+        for i in 0..2000u64 {
+            match st.fate(t(i), 0, 1) {
+                Fate::Drop => drops += 1,
+                Fate::Duplicate { skew } => {
+                    assert!(!skew.is_zero());
+                    dups += 1;
+                }
+                Fate::Delay { extra } => {
+                    assert!(!extra.is_zero());
+                    delays += 1;
+                }
+                Fate::Deliver => ok += 1,
+            }
+        }
+        // Draws are conditional (drop, then duplicate, then reorder), so
+        // later fates fire at 0.25 of the remaining mass: expected
+        // ~500 / ~375 / ~281 out of 2000.
+        for (name, n, lo, hi) in [
+            ("drop", drops, 400, 620),
+            ("dup", dups, 280, 480),
+            ("delay", delays, 190, 380),
+        ] {
+            assert!((lo..hi).contains(&n), "{name} fired {n}/2000");
+        }
+        assert!(ok > 500, "deliver fired {ok}/2000");
+    }
+
+    #[test]
+    fn link_overrides_take_precedence() {
+        let plan = FaultPlan::new().with_link(
+            0,
+            1,
+            LinkProbs {
+                drop: 0.9,
+                ..LinkProbs::NONE
+            },
+        );
+        let mut st = FaultState::new(plan, 5, 4);
+        let dropped_01 = (0..200)
+            .filter(|&i| st.fate(t(i), 0, 1) == Fate::Drop)
+            .count();
+        let dropped_23 = (0..200)
+            .filter(|&i| st.fate(t(i), 2, 3) == Fate::Drop)
+            .count();
+        assert!(dropped_01 > 150, "override link dropped {dropped_01}/200");
+        assert_eq!(dropped_23, 0, "default link must stay clean");
+    }
+
+    #[test]
+    fn brownout_drops_everything_in_window() {
+        let plan = FaultPlan::new().with_brownout(t(10), t(20));
+        let mut st = FaultState::new(plan, 1, 2);
+        assert_eq!(st.fate(t(9), 0, 1), Fate::Deliver);
+        assert_eq!(st.fate(t(10), 0, 1), Fate::Drop);
+        assert_eq!(st.fate(t(19), 0, 1), Fate::Drop);
+        assert_eq!(st.fate(t(20), 0, 1), Fate::Deliver);
+    }
+
+    #[test]
+    fn link_brownout_scopes_to_one_link() {
+        let plan = FaultPlan::new().with_link_brownout(0, 1, t(0), t(100));
+        let mut st = FaultState::new(plan, 1, 2);
+        assert_eq!(st.fate(t(5), 0, 1), Fate::Drop);
+        assert_eq!(st.fate(t(5), 1, 0), Fate::Deliver);
+    }
+
+    #[test]
+    fn spikes_scale_latency_in_window_only() {
+        let plan = FaultPlan::new()
+            .with_latency_spike(t(10), t(20), 3.0)
+            .with_latency_spike(t(15), t(30), 5.0);
+        let st = FaultState::new(plan, 1, 2);
+        assert_eq!(st.latency_factor(t(5)), 1.0);
+        assert_eq!(st.latency_factor(t(12)), 3.0);
+        assert_eq!(st.latency_factor(t(17)), 5.0, "overlap takes the max");
+        assert_eq!(st.latency_factor(t(25)), 5.0);
+        assert_eq!(st.latency_factor(t(30)), 1.0);
+    }
+
+    #[test]
+    fn pause_windows_report_resume_instant() {
+        let plan = FaultPlan::new()
+            .with_node_pause(2, t(10), t(20))
+            .with_node_pause(2, t(15), t(40));
+        let st = FaultState::new(plan, 1, 4);
+        assert_eq!(st.pause_until(2, t(5)), None);
+        assert_eq!(st.pause_until(2, t(12)), Some(t(20)));
+        assert_eq!(
+            st.pause_until(2, t(16)),
+            Some(t(40)),
+            "overlap takes the max"
+        );
+        assert_eq!(st.pause_until(1, t(12)), None, "other nodes unaffected");
+        assert_eq!(st.pause_until(2, t(40)), None, "end is exclusive");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn probability_of_one_is_rejected() {
+        let _ = FaultPlan::new().with_drop(1.0);
+    }
+}

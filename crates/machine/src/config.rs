@@ -13,6 +13,7 @@
 //!   libraries such as MPI on mid-90s hardware.
 
 use crate::topology::NodeId;
+use earth_faults::FaultPlan;
 use earth_sim::VirtualDuration;
 
 /// Whether an operation completes one-way (fire and forget) or requires a
@@ -165,6 +166,10 @@ pub struct MachineConfig {
     /// All the paper's measurements use the single-processor version
     /// (`false`), which was shown to perform "much the same".
     pub dual_processor: bool,
+    /// Optional fault-injection plan. `None` (the default, and what any
+    /// trivial plan normalizes to) means the fault plane is absent: the
+    /// network takes the exact fault-free code path.
+    pub faults: Option<FaultPlan>,
 }
 
 impl MachineConfig {
@@ -181,6 +186,7 @@ impl MachineConfig {
             earth: EarthCosts::default(),
             comm: CommCostModel::Earth,
             dual_processor: false,
+            faults: None,
         }
     }
 
@@ -201,6 +207,14 @@ impl MachineConfig {
     /// Same machine under the inflated message-passing cost model.
     pub fn with_message_passing(mut self, sync_us: u64) -> Self {
         self.comm = CommCostModel::message_passing_us(sync_us);
+        self
+    }
+
+    /// Install a fault-injection plan. A trivial plan (nothing can ever
+    /// fire) is normalized to `None`, so `with_faults(FaultPlan::none())`
+    /// is byte-identical to never calling this at all.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = if plan.is_trivial() { None } else { Some(plan) };
         self
     }
 
@@ -229,6 +243,17 @@ mod tests {
         assert_eq!(m.cluster_size, 16);
         assert_eq!(m.link_bytes_per_sec, 50_000_000);
         assert!(matches!(m.comm, CommCostModel::Earth));
+    }
+
+    #[test]
+    fn trivial_fault_plans_normalize_away() {
+        let m = MachineConfig::manna(4).with_faults(FaultPlan::none());
+        assert!(
+            m.faults.is_none(),
+            "FaultPlan::none() must be provably free"
+        );
+        let m = MachineConfig::manna(4).with_faults(FaultPlan::new().with_drop(0.01));
+        assert!(m.faults.is_some());
     }
 
     #[test]

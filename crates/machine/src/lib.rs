@@ -27,5 +27,11 @@ pub mod network;
 pub mod topology;
 
 pub use config::{CommCostModel, EarthCosts, MachineConfig, MsgPassingCosts, OpClass};
-pub use network::{Delivery, LinkSpan, Network, NetworkStats};
+pub use network::{Delivery, FaultEvent, LinkSpan, NetFate, Network, NetworkStats, Resolved};
 pub use topology::NodeId;
+
+// Re-export the fault plane so downstream crates (runtime, apps, bench)
+// can build `FaultPlan`s without depending on earth-faults directly.
+pub use earth_faults::{
+    BrownoutWindow, Fate, FaultKind, FaultPlan, FaultState, LinkProbs, PauseWindow, SpikeWindow,
+};

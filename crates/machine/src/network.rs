@@ -18,6 +18,7 @@
 
 use crate::config::MachineConfig;
 use crate::topology::NodeId;
+use earth_faults::{Fate, FaultKind, FaultState};
 use earth_sim::{Rng, VirtualDuration, VirtualTime};
 
 /// Aggregate traffic counters, reported in run summaries.
@@ -31,6 +32,60 @@ pub struct NetworkStats {
     pub link_waits: u64,
     /// Cumulative time messages spent waiting for the sender link.
     pub wait_time: VirtualDuration,
+    /// Messages lost in the fabric (fault plane: drop or brownout).
+    pub dropped: u64,
+    /// Messages the fabric delivered twice (fault plane).
+    pub duplicated: u64,
+    /// Messages held back by a reorder delay (fault plane).
+    pub delayed: u64,
+}
+
+/// One fault-plane decision that fired, for the observability layer
+/// (earth-profile's faults lane in the Chrome trace). Recorded only when
+/// occupancy recording is on; never affects timing.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultEvent {
+    /// Sending node of the afflicted message.
+    pub src: NodeId,
+    /// Destination node of the afflicted message.
+    pub dst: NodeId,
+    /// Instant the message hit the wire (fault decided at injection).
+    pub at: VirtualTime,
+    /// Which fault fired.
+    pub kind: FaultKind,
+}
+
+/// How the fault plane resolved one injected message.
+#[derive(Clone, Copy, Debug)]
+pub enum NetFate {
+    /// Delivered normally (possibly late, when a reorder delay fired).
+    Delivered {
+        /// Instant the message is available at the destination NIC.
+        arrive: VirtualTime,
+    },
+    /// Lost in the fabric; it still occupied the sender link.
+    Dropped,
+    /// Delivered twice: the original copy and a skewed duplicate.
+    Duplicated {
+        /// Arrival of the original copy.
+        first: VirtualTime,
+        /// Arrival of the duplicate copy.
+        second: VirtualTime,
+    },
+}
+
+/// A fault-aware delivery: what [`Network::send_resolved`] reports to the
+/// runtime's reliability layer.
+#[derive(Clone, Copy, Debug)]
+pub struct Resolved {
+    /// Instant the message started occupying the sender link.
+    pub depart: VirtualTime,
+    /// Fault-free arrival instant (including any latency-spike factor,
+    /// excluding drop/duplicate/delay effects) — the anchor for
+    /// retransmission-timeout estimates.
+    pub expected: VirtualTime,
+    /// What actually happened to the message.
+    pub fate: NetFate,
 }
 
 /// One message's resolved timing: when it left the sender link and when
@@ -73,13 +128,24 @@ pub struct Network {
     /// When `Some`, every remote send records its link-occupancy interval
     /// (earth-profile's trace export; never affects timing).
     occupancy: Option<Vec<LinkSpan>>,
+    /// The compiled fault plan, when one is installed. `None` means every
+    /// send takes the exact fault-free code path.
+    faults: Option<FaultState>,
+    /// When `Some`, every fault that fires is logged (earth-profile's
+    /// faults lane; observational only).
+    fault_log: Option<Vec<FaultEvent>>,
 }
 
 impl Network {
     /// A quiet network for the given machine. `seed` drives latency jitter
-    /// (unused when `cfg.latency_jitter == 0`).
+    /// (unused when `cfg.latency_jitter == 0`) and, through a separate
+    /// salt, the fault plane's decision stream (when a plan is installed).
     pub fn new(cfg: MachineConfig, seed: u64) -> Self {
         let n = cfg.nodes as usize;
+        let faults = cfg.faults.clone().map(|plan| {
+            #[allow(clippy::unusual_byte_groupings)] // ascii "faults"
+            FaultState::new(plan, seed ^ 0x66_6175_6C74_73u64, cfg.nodes)
+        });
         Network {
             cfg,
             link_free: vec![VirtualTime::ZERO; n],
@@ -87,7 +153,25 @@ impl Network {
             jitter_rng: Rng::new(seed ^ 0x6E65_7477_6F72_6Bu64),
             stats: NetworkStats::default(),
             occupancy: None,
+            faults,
+            fault_log: None,
         }
+    }
+
+    /// Whether a (non-trivial) fault plan is installed.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Base retransmission-timeout margin from the installed plan, if any.
+    pub fn fault_rto(&self) -> Option<VirtualDuration> {
+        self.faults.as_ref().map(|f| f.rto())
+    }
+
+    /// If `node` is inside a planned pause window at `t`, the instant its
+    /// stall ends; `None` when running normally (or no plan installed).
+    pub fn pause_until(&self, node: NodeId, t: VirtualTime) -> Option<VirtualTime> {
+        self.faults.as_ref()?.pause_until(node.0, t)
     }
 
     /// Machine configuration in force.
@@ -102,12 +186,21 @@ impl Network {
         if self.occupancy.is_none() {
             self.occupancy = Some(Vec::new());
         }
+        if self.faults.is_some() && self.fault_log.is_none() {
+            self.fault_log = Some(Vec::new());
+        }
     }
 
     /// Take the recorded link-occupancy intervals (empty if recording was
     /// never enabled).
     pub fn take_occupancy(&mut self) -> Vec<LinkSpan> {
         self.occupancy.take().unwrap_or_default()
+    }
+
+    /// Take the recorded fault events (empty if recording was never
+    /// enabled or no plan is installed).
+    pub fn take_fault_events(&mut self) -> Vec<FaultEvent> {
+        self.fault_log.take().unwrap_or_default()
     }
 
     /// Inject a `bytes`-byte message from `src` to `dst` at time `now`.
@@ -140,6 +233,89 @@ impl Network {
                 arrive: now,
             };
         }
+        self.timed(now, src, dst, bytes, 1.0)
+    }
+
+    /// Inject a message under the installed fault plan: same link and
+    /// flight math as [`send_detailed`](Network::send_detailed) (with any
+    /// active latency-spike factor applied to flight), then a fate drawn
+    /// from the plan's counter-based stream. Dropped messages still
+    /// occupy the sender link and count as injected traffic; duplicates
+    /// serialize once but deliver twice.
+    ///
+    /// Callers must only use this when [`has_faults`](Network::has_faults)
+    /// is true — it panics otherwise, because silently falling back would
+    /// skip the counter advance and desynchronize the fault schedule.
+    pub fn send_resolved(
+        &mut self,
+        now: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+    ) -> Resolved {
+        if src == dst {
+            return Resolved {
+                depart: now,
+                expected: now,
+                fate: NetFate::Delivered { arrive: now },
+            };
+        }
+        let factor = self
+            .faults
+            .as_ref()
+            .expect("send_resolved requires an installed fault plan")
+            .latency_factor(now);
+        let d = self.timed(now, src, dst, bytes, factor);
+        let fate = self.faults.as_mut().unwrap().fate(now, src.0, dst.0);
+        let (net_fate, kind) = match fate {
+            Fate::Deliver => (NetFate::Delivered { arrive: d.arrive }, None),
+            Fate::Drop => {
+                self.stats.dropped += 1;
+                (NetFate::Dropped, Some(FaultKind::Drop))
+            }
+            Fate::Duplicate { skew } => {
+                self.stats.duplicated += 1;
+                (
+                    NetFate::Duplicated {
+                        first: d.arrive,
+                        second: d.arrive + skew,
+                    },
+                    Some(FaultKind::Duplicate),
+                )
+            }
+            Fate::Delay { extra } => {
+                self.stats.delayed += 1;
+                (
+                    NetFate::Delivered {
+                        arrive: d.arrive + extra,
+                    },
+                    Some(FaultKind::Delay),
+                )
+            }
+        };
+        if let (Some(kind), Some(log)) = (kind, self.fault_log.as_mut()) {
+            log.push(FaultEvent {
+                src,
+                dst,
+                at: d.depart,
+                kind,
+            });
+        }
+        Resolved {
+            depart: d.depart,
+            expected: d.arrive,
+            fate: net_fate,
+        }
+    }
+
+    fn timed(
+        &mut self,
+        now: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+        factor: f64,
+    ) -> Delivery {
         let serialize =
             VirtualDuration::from_us_f64(bytes as f64 / self.cfg.link_bytes_per_sec as f64 * 1.0e6);
         let link_free = self.link_free[src.index()];
@@ -167,6 +343,11 @@ impl Network {
                     .jitter_rng
                     .gen_f64_range(-self.cfg.latency_jitter, self.cfg.latency_jitter);
             flight = flight.scaled(f);
+        }
+        // Latency-spike windows scale flight only; the `!= 1.0` guard keeps
+        // the fault-free path bit-exact (no rounding through `scaled`).
+        if factor != 1.0 {
+            flight = flight.scaled(factor);
         }
 
         self.stats.messages += 1;
@@ -301,6 +482,125 @@ mod tests {
         }
         // taking drains and disables
         assert!(recorded.take_occupancy().is_empty());
+    }
+
+    #[test]
+    fn send_resolved_matches_send_detailed_when_no_fault_fires() {
+        use earth_faults::FaultPlan;
+        // A plan that only has a far-future pause window: non-trivial (so
+        // the fault plane installs) but no per-message fault ever fires,
+        // so resolved timing must equal the plain path exactly.
+        let late = VirtualTime::ZERO + VirtualDuration::from_secs(1_000);
+        let plan = FaultPlan::new().with_node_pause(0, late, late + VirtualDuration::from_us(1));
+        let cfg = MachineConfig::manna(4).with_jitter(0.05);
+        let mut plain = Network::new(cfg.clone(), 21);
+        let mut faulty = Network::new(cfg.with_faults(plan), 21);
+        assert!(faulty.has_faults());
+        for i in 0..50u32 {
+            let d = plain.send_detailed(VirtualTime::ZERO, NodeId(0), NodeId(1), 100 + i);
+            let r = faulty.send_resolved(VirtualTime::ZERO, NodeId(0), NodeId(1), 100 + i);
+            assert_eq!(r.depart, d.depart);
+            assert_eq!(r.expected, d.arrive);
+            match r.fate {
+                NetFate::Delivered { arrive } => assert_eq!(arrive, d.arrive),
+                other => panic!("unexpected fate {other:?}"),
+            }
+        }
+        assert_eq!(faulty.stats().dropped, 0);
+        assert_eq!(faulty.stats().duplicated, 0);
+        assert_eq!(faulty.stats().delayed, 0);
+    }
+
+    #[test]
+    fn send_resolved_counts_faults_and_keeps_traffic_counters() {
+        use earth_faults::FaultPlan;
+        let plan = FaultPlan::new()
+            .with_drop(0.3)
+            .with_duplicate(0.2)
+            .with_reorder(0.2);
+        let mut n = Network::new(MachineConfig::manna(4).with_faults(plan), 5);
+        let mut drops = 0;
+        let mut dups = 0;
+        let mut delays = 0;
+        for i in 0..400u32 {
+            let r = n.send_resolved(VirtualTime::ZERO, NodeId(0), NodeId(1), 64 + i % 7);
+            match r.fate {
+                NetFate::Dropped => drops += 1,
+                NetFate::Duplicated { first, second } => {
+                    assert!(second > first, "duplicate copy lands strictly later");
+                    dups += 1;
+                }
+                NetFate::Delivered { arrive } => {
+                    assert!(arrive >= r.expected);
+                    if arrive > r.expected {
+                        delays += 1;
+                    }
+                }
+            }
+        }
+        assert!(drops > 0 && dups > 0 && delays > 0);
+        assert_eq!(n.stats().dropped, drops);
+        assert_eq!(n.stats().duplicated, dups);
+        assert_eq!(n.stats().delayed, delays);
+        // Every injection — dropped or not — occupied the link and counts.
+        assert_eq!(n.stats().messages, 400);
+    }
+
+    #[test]
+    fn latency_spike_scales_flight_inside_window_only() {
+        use earth_faults::FaultPlan;
+        let t0 = VirtualTime::ZERO;
+        let in_spike = t0 + VirtualDuration::from_ms(1);
+        let plan = FaultPlan::new().with_latency_spike(
+            t0 + VirtualDuration::from_us(500),
+            t0 + VirtualDuration::from_ms(2),
+            4.0,
+        );
+        let mut plain = net(4);
+        let mut spiky = Network::new(MachineConfig::manna(4).with_faults(plan), 1);
+        let base = plain.send_detailed(t0, NodeId(0), NodeId(1), 100);
+        let serialize = base.arrive.since(base.depart) - VirtualDuration::from_ns(1_500); // wire 1us + 1 hop 0.5us
+                                                                                          // Outside the window: identical flight.
+        let r0 = spiky.send_resolved(t0, NodeId(0), NodeId(1), 100);
+        assert_eq!(r0.expected.since(r0.depart), base.arrive.since(base.depart));
+        // Inside: flight (wire + hops) is 4x, serialization untouched.
+        let r1 = spiky.send_resolved(in_spike, NodeId(0), NodeId(1), 100);
+        let flight = r1.expected.since(r1.depart) - serialize;
+        assert_eq!(flight, VirtualDuration::from_ns(6_000), "4 * 1.5us");
+    }
+
+    #[test]
+    fn fault_schedule_is_seed_deterministic() {
+        use earth_faults::FaultPlan;
+        let plan = FaultPlan::new().with_drop(0.25).with_duplicate(0.15);
+        let cfg = MachineConfig::manna(4).with_faults(plan);
+        let mut a = Network::new(cfg.clone(), 77);
+        let mut b = Network::new(cfg, 77);
+        for i in 0..300u32 {
+            let ra = a.send_resolved(VirtualTime::ZERO, NodeId(i as u16 % 4), NodeId(1), 64);
+            let rb = b.send_resolved(VirtualTime::ZERO, NodeId(i as u16 % 4), NodeId(1), 64);
+            assert_eq!(format!("{ra:?}"), format!("{rb:?}"));
+        }
+    }
+
+    #[test]
+    fn fault_log_records_only_when_enabled() {
+        use earth_faults::FaultPlan;
+        let plan = FaultPlan::new().with_drop(0.5);
+        let cfg = MachineConfig::manna(2).with_faults(plan);
+        let mut quiet = Network::new(cfg.clone(), 3);
+        for _ in 0..50 {
+            quiet.send_resolved(VirtualTime::ZERO, NodeId(0), NodeId(1), 64);
+        }
+        assert!(quiet.take_fault_events().is_empty());
+        let mut logged = Network::new(cfg, 3);
+        logged.enable_occupancy();
+        for _ in 0..50 {
+            logged.send_resolved(VirtualTime::ZERO, NodeId(0), NodeId(1), 64);
+        }
+        let events = logged.take_fault_events();
+        assert_eq!(events.len() as u64, logged.stats().dropped);
+        assert!(events.iter().all(|e| matches!(e.kind, FaultKind::Drop)));
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! Domain generators for the workspace's own data types: monomials and
-//! polynomials over GF(32003), symmetric tridiagonal matrices, and
-//! simulation event schedules.
+//! polynomials over GF(32003), symmetric tridiagonal matrices,
+//! simulation event schedules, and fault-injection plans.
 
 use crate::strategy::{collection, Strategy};
 use earth_algebra::gf::Gf;
 use earth_algebra::monomial::Monomial;
 use earth_algebra::poly::{Poly, Ring, Term};
+use earth_faults::FaultPlan;
 use earth_linalg::SymTridiagonal;
-use earth_sim::VirtualTime;
+use earth_sim::{VirtualDuration, VirtualTime};
 use std::ops::Range;
 
 /// A monomial in `nvars` variables with exponents in `[0, max_exp]`.
@@ -81,6 +82,40 @@ pub fn event_schedule(
     })
 }
 
+/// A bounded-loss fault-injection plan: drop / duplicate / reorder
+/// probabilities drawn up to the given caps (both must be in `(0, 1)`;
+/// keep them well under ~0.3 so reliability properties converge in a
+/// few round trips), a reorder window of 5–40 µs, an RTO of 100–400 µs,
+/// and — half the time — one early latency-spike window, so generated
+/// plans also exercise the delay path.
+pub fn fault_plan(max_drop: f64, max_dup: f64) -> impl Strategy<Value = FaultPlan> {
+    assert!(
+        max_drop > 0.0 && max_drop < 1.0 && max_dup > 0.0 && max_dup < 1.0,
+        "probability caps must be in (0, 1)"
+    );
+    (
+        0.0..max_drop,
+        0.0..max_dup,
+        0.0..0.1f64,
+        5u64..40,
+        100u64..400,
+        crate::strategy::any::<bool>(),
+    )
+        .prop_map(|(drop, dup, reorder, window_us, rto_us, spike)| {
+            let mut plan = FaultPlan::new()
+                .with_drop(drop)
+                .with_duplicate(dup)
+                .with_reorder(reorder)
+                .with_reorder_window(VirtualDuration::from_us(window_us))
+                .with_rto(VirtualDuration::from_us(rto_us));
+            if spike {
+                plan =
+                    plan.with_latency_spike(VirtualTime::ZERO, VirtualTime::from_ns(500_000), 2.0);
+            }
+            plan
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +156,19 @@ mod tests {
         for seed in 0..100 {
             let m = gen(&s, seed);
             assert!((2..9).contains(&m.n()));
+        }
+    }
+
+    #[test]
+    fn fault_plans_are_bounded_and_never_trivial_free() {
+        let s = fault_plan(0.15, 0.1);
+        for seed in 0..100 {
+            let p = gen(&s, seed);
+            // generated plans must be installable as-is (validate() is
+            // what MachineConfig::with_faults runs on installation)
+            assert!(!p.is_trivial() || p.default_probs == earth_faults::LinkProbs::NONE);
+            assert!(p.default_probs.drop < 0.15);
+            assert!(p.default_probs.duplicate < 0.1);
         }
     }
 

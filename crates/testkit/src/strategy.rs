@@ -36,7 +36,8 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
-    /// Keep only values satisfying `pred`; `name` labels rejects.
+    /// Keep only values satisfying `pred`; `name` identifies the filter
+    /// in the combinator's `Debug` rendering.
     fn prop_filter<F>(self, name: &'static str, pred: F) -> Filter<Self, F>
     where
         Self: Sized,
@@ -197,9 +198,14 @@ where
 /// See [`Strategy::prop_filter`].
 pub struct Filter<S, F> {
     inner: S,
-    #[allow(dead_code)]
     name: &'static str,
     pred: F,
+}
+
+impl<S, F> Debug for Filter<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Filter").field("name", &self.name).finish()
+    }
 }
 
 impl<S, F> Strategy for Filter<S, F>
@@ -393,6 +399,12 @@ mod tests {
             let len = gen_one(&collection::vec(0u16..5, 2..7), seed).len();
             assert!((2..7).contains(&len));
         }
+    }
+
+    #[test]
+    fn filter_debug_carries_its_name() {
+        let s = (0u32..100).prop_filter("even only", |v| v % 2 == 0);
+        assert_eq!(format!("{s:?}"), "Filter { name: \"even only\" }");
     }
 
     #[test]

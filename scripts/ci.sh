@@ -10,6 +10,16 @@ cargo build --release --offline --workspace --all-targets
 echo "== tests =="
 cargo test -q --offline --workspace
 
+echo "== clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== example smoke (release) =="
+for ex in examples/*.rs; do
+    name="$(basename "$ex" .rs)"
+    echo "-- example: $name"
+    cargo run --release --offline --example "$name" >/dev/null
+done
+
 echo "== format =="
 cargo fmt --check
 

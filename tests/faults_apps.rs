@@ -1,0 +1,101 @@
+//! Acceptance tests for the fault plane: under a seeded plan of dropped
+//! and duplicated messages, the reliability layer must make every
+//! split-phase operation exactly-once, so all three paper applications
+//! complete with results bit-identical to their fault-free runs — only
+//! virtual time (and the fault counters) degrade.
+
+use earth_manna::algebra::buchberger::{reduce_basis, SelectionStrategy};
+use earth_manna::algebra::inputs::katsura;
+use earth_manna::apps::eigen::{run_eigen, run_eigen_faulted, FetchMode};
+use earth_manna::apps::groebner::{run_groebner, run_groebner_faulted};
+use earth_manna::apps::neural::{run_neural, run_neural_faulted, CommsShape, PassMode};
+use earth_manna::linalg::SymTridiagonal;
+use earth_manna::machine::FaultPlan;
+
+/// The ISSUE acceptance plan: 1% drop, 0.5% duplication.
+fn lossy() -> FaultPlan {
+    FaultPlan::new().with_drop(0.01).with_duplicate(0.005)
+}
+
+#[test]
+fn eigen_bit_identical_under_lossy_network() {
+    let m = SymTridiagonal::random_clustered(40, 3, 7);
+    let clean = run_eigen(&m, 1e-6, 20, 42, FetchMode::Block);
+    let faulted = run_eigen_faulted(&m, 1e-6, 20, 42, FetchMode::Block, &lossy());
+    assert!(
+        faulted.report.net_dropped > 0,
+        "plan never fired; acceptance run is vacuous"
+    );
+    assert!(faulted.report.total_retransmits() > 0);
+    assert_eq!(
+        clean.eigenvalues, faulted.eigenvalues,
+        "drops/dups must not change the mathematics"
+    );
+}
+
+#[test]
+fn groebner_same_reduced_basis_under_lossy_network() {
+    let (ring, input) = katsura(3);
+    let clean = run_groebner(&ring, &input, 20, 1, SelectionStrategy::Sugar, None);
+    let faulted = run_groebner_faulted(&ring, &input, 20, 1, SelectionStrategy::Sugar, &lossy());
+    assert!(faulted.report.net_dropped > 0);
+    assert_eq!(
+        reduce_basis(&ring, &clean.basis),
+        reduce_basis(&ring, &faulted.basis),
+        "lossy completion must reach the same reduced Groebner basis"
+    );
+}
+
+#[test]
+fn neural_outputs_bit_identical_under_lossy_network() {
+    let clean = run_neural(24, 20, 2, 21, PassMode::ForwardBackward, CommsShape::Tree);
+    let faulted = run_neural_faulted(
+        24,
+        20,
+        2,
+        21,
+        PassMode::ForwardBackward,
+        CommsShape::Tree,
+        &lossy(),
+    );
+    assert!(faulted.report.net_dropped > 0);
+    assert_eq!(clean.outputs, faulted.outputs);
+}
+
+#[test]
+fn faulted_runs_are_seed_deterministic() {
+    let m = SymTridiagonal::random_clustered(30, 2, 3);
+    let a = run_eigen_faulted(&m, 1e-6, 20, 9, FetchMode::Individual, &lossy());
+    let b = run_eigen_faulted(&m, 1e-6, 20, 9, FetchMode::Individual, &lossy());
+    assert_eq!(a.eigenvalues, b.eigenvalues);
+    assert_eq!(
+        format!("{:?}", a.report),
+        format!("{:?}", b.report),
+        "same (seed, plan) must replay the same fault schedule"
+    );
+    assert_eq!(a.elapsed, b.elapsed);
+}
+
+#[test]
+fn none_plan_is_byte_identical_to_no_fault_plane() {
+    // FaultPlan::none() must normalize away entirely: no reliability
+    // layer, no envelope bytes, no extra draws — the run is the same
+    // run, byte for byte.
+    let m = SymTridiagonal::random_clustered(30, 2, 3);
+    let plain = run_eigen(&m, 1e-6, 8, 5, FetchMode::Block);
+    let none = run_eigen_faulted(&m, 1e-6, 8, 5, FetchMode::Block, &FaultPlan::none());
+    assert_eq!(plain.eigenvalues, none.eigenvalues);
+    assert_eq!(format!("{:?}", plain.report), format!("{:?}", none.report));
+    assert_eq!(format!("{}", plain.report), format!("{}", none.report));
+}
+
+#[test]
+fn faults_show_up_in_report_display_only_when_firing() {
+    let m = SymTridiagonal::random_clustered(30, 2, 3);
+    let clean = run_eigen(&m, 1e-6, 8, 5, FetchMode::Block);
+    let faulted = run_eigen_faulted(&m, 1e-6, 8, 5, FetchMode::Block, &lossy());
+    assert!(!format!("{}", clean.report).contains("faults:"));
+    let shown = format!("{}", faulted.report);
+    assert!(shown.contains("faults:"), "{shown}");
+    assert!(shown.contains("retransmits"), "{shown}");
+}
