@@ -301,6 +301,30 @@ pub fn run_eigen_faulted(
     run_eigen_inner(matrix, tol, cfg, seed, mode, false)
 }
 
+/// Like [`run_eigen`] with node `crash_node` crash-stopped at `down` and
+/// — when `up` is given — restarted then; without `up` the failure
+/// detector triggers a failover restart at the detection instant. The
+/// checkpoint/recovery plane replays the lost work, so the computed
+/// eigenvalues are bit-identical to the fault-free run's; only virtual
+/// time (and the report's crash counters) degrade.
+#[allow(clippy::too_many_arguments)]
+pub fn run_eigen_crashed(
+    matrix: &SymTridiagonal,
+    tol: f64,
+    nodes: u16,
+    seed: u64,
+    mode: FetchMode,
+    crash_node: u16,
+    down: VirtualTime,
+    up: Option<VirtualTime>,
+) -> EigenRun {
+    let plan = match up {
+        Some(up) => earth_machine::FaultPlan::new().with_crash_restart(crash_node, down, up),
+        None => earth_machine::FaultPlan::new().with_node_crash(crash_node, down),
+    };
+    run_eigen_faulted(matrix, tol, nodes, seed, mode, &plan)
+}
+
 fn run_eigen_inner(
     matrix: &SymTridiagonal,
     tol: f64,

@@ -1118,6 +1118,30 @@ pub fn run_groebner_faulted(
     )
 }
 
+/// Like [`run_groebner`] with node `crash_node` crash-stopped at `down`
+/// and — when `up` is given — restarted then; without `up` the failure
+/// detector triggers a failover restart at the detection instant. The
+/// checkpoint/recovery plane replays the lost work, so the computed
+/// basis is identical to the fault-free run's; only virtual time
+/// degrades.
+#[allow(clippy::too_many_arguments)]
+pub fn run_groebner_crashed(
+    ring: &Ring,
+    input: &[Poly],
+    nodes: u16,
+    seed: u64,
+    strategy: SelectionStrategy,
+    crash_node: u16,
+    down: VirtualTime,
+    up: Option<VirtualTime>,
+) -> GroebnerRun {
+    let plan = match up {
+        Some(up) => earth_machine::FaultPlan::new().with_crash_restart(crash_node, down, up),
+        None => earth_machine::FaultPlan::new().with_node_crash(crash_node, down),
+    };
+    run_groebner_faulted(ring, input, nodes, seed, strategy, &plan)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_groebner_inner(
     ring: &Ring,

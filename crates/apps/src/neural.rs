@@ -564,6 +564,31 @@ pub fn run_neural_faulted(
     )
 }
 
+/// Like [`run_neural`] with node `crash_node` crash-stopped at `down`
+/// and — when `up` is given — restarted then; without `up` the failure
+/// detector triggers a failover restart at the detection instant. The
+/// checkpoint/recovery plane replays the lost work, so the trained
+/// weights and outputs are bit-identical to the fault-free run's; only
+/// virtual time degrades.
+#[allow(clippy::too_many_arguments)]
+pub fn run_neural_crashed(
+    units: usize,
+    nodes: u16,
+    samples: usize,
+    seed: u64,
+    mode: PassMode,
+    shape: CommsShape,
+    crash_node: u16,
+    down: VirtualTime,
+    up: Option<VirtualTime>,
+) -> NeuralRun {
+    let plan = match up {
+        Some(up) => earth_machine::FaultPlan::new().with_crash_restart(crash_node, down, up),
+        None => earth_machine::FaultPlan::new().with_node_crash(crash_node, down),
+    };
+    run_neural_faulted(units, nodes, samples, seed, mode, shape, &plan)
+}
+
 /// Like [`run_neural`] with earth-profile collection on; timing is
 /// identical to the unprofiled run.
 pub fn run_neural_profiled(

@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--json] [table1|fig2|table2|fig4|fig5|table3|fig7|fig8|ablation|dual|profile|faults|all]
+//! repro [--quick] [--json] [table1|fig2|table2|fig4|fig5|table3|fig7|fig8|ablation|dual|profile|faults|crashes|all]
 //! ```
 //!
 //! `--quick` shrinks matrices and seed counts (same shapes, CI speed).
@@ -17,6 +17,11 @@
 //! a fixed-seed eigenvalue workload under a drop-rate × node-count
 //! grid, with the reliability layer keeping every cell's results
 //! bit-identical to the fault-free baseline.
+//!
+//! `crashes` (not part of `all`) runs the availability sweep: the same
+//! workload with one node crash-stopped at a grid of crash times ×
+//! checkpoint intervals, with the checkpoint/recovery plane keeping
+//! every cell's results bit-identical to the fault-free baseline.
 
 use earth_bench::*;
 
@@ -124,6 +129,10 @@ fn main() {
     }
     if what.contains(&"faults") {
         let t = faults_table();
+        println!("{}", if json { t.to_json() } else { t.render() });
+    }
+    if what.contains(&"crashes") {
+        let t = crashes_table();
         println!("{}", if json { t.to_json() } else { t.render() });
     }
 }

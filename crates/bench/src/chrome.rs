@@ -98,6 +98,9 @@ pub fn chrome_trace_json(profile: &RunProfile) -> String {
             Activity::Steal => "steal",
             Activity::Retransmit => "retransmit",
             Activity::Su => "su",
+            Activity::Heartbeat => "heartbeat",
+            Activity::Checkpoint => "checkpoint",
+            Activity::Recover => "recover",
         };
         push_event(
             &mut out,

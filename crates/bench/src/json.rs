@@ -198,6 +198,47 @@ impl FaultsTable {
     }
 }
 
+impl CrashesTable {
+    /// JSON record. Every value is a pure function of the fixed seed
+    /// and plan, so the record is byte-identical across invocations.
+    pub fn to_json(&self) -> String {
+        let mut rows = String::from("[");
+        for (fi, &(fnum, fden)) in self.crash_fracs.iter().enumerate() {
+            if fi > 0 {
+                rows.push(',');
+            }
+            let mut cells = String::from("[");
+            for (ci, &ck) in self.ckpt_us.iter().enumerate() {
+                if ci > 0 {
+                    cells.push(',');
+                }
+                let c = &self.cells[fi][ci];
+                let _ = write!(
+                    cells,
+                    "{{\"ckpt_us\":{ck},\"elapsed_us\":{},\"slowdown\":{},\"checkpoints\":{},\"heartbeats\":{},\"rehomed\":{},\"downtime_us\":{}}}",
+                    num(c.elapsed.as_us_f64()),
+                    num(c.slowdown),
+                    c.checkpoints,
+                    c.heartbeats,
+                    c.rehomed,
+                    num(c.downtime.as_us_f64())
+                );
+            }
+            cells.push(']');
+            let _ = write!(
+                rows,
+                "{{\"crash_frac\":\"{fnum}/{fden}\",\"cells\":{cells}}}"
+            );
+        }
+        rows.push(']');
+        format!(
+            "{{\"experiment\":\"crashes\",\"seed\":42,\"nodes\":20,\"crash_node\":{},\"baseline_us\":{},\"rows\":{rows}}}",
+            self.crash_node,
+            num(self.baseline.as_us_f64())
+        )
+    }
+}
+
 impl CommsAblation {
     /// JSON record.
     pub fn to_json(&self) -> String {

@@ -75,6 +75,7 @@ pub mod memory;
 pub mod msg;
 pub mod node;
 pub mod profile;
+pub(crate) mod recover;
 pub(crate) mod reli;
 pub mod report;
 pub mod runtime;

@@ -60,6 +60,12 @@ pub(crate) enum Msg {
     /// acks themselves are unreliable (a lost ack is covered by the
     /// retransmit + receiver dedup cycle).
     Ack { from: NodeId, seq: u64 },
+    /// Failure-detector probe from `from` to its ring successor. Rides
+    /// the reliable path; the NIC-level ack coming back is the liveness
+    /// proof, and the watchdog's retransmissions of an unacked probe are
+    /// the detector's repeated probing. Only exists when the installed
+    /// plan schedules crash windows.
+    Heartbeat { from: NodeId },
 }
 
 impl Msg {
@@ -73,6 +79,7 @@ impl Msg {
             Msg::Invoke { args, .. } | Msg::Token { args, .. } => MSG_HEADER + args.len() as u32,
             Msg::StealReq { .. } | Msg::StealNack => MSG_HEADER,
             Msg::Ack { .. } => MSG_HEADER + 10,
+            Msg::Heartbeat { .. } => MSG_HEADER + 2,
         }
     }
 
@@ -85,7 +92,11 @@ impl Msg {
             Msg::Put { .. } | Msg::SyncSig { .. } | Msg::Invoke { .. } | Msg::Token { .. } => {
                 Some(OpClass::Async)
             }
-            Msg::GetReply { .. } | Msg::StealReq { .. } | Msg::StealNack | Msg::Ack { .. } => None,
+            Msg::GetReply { .. }
+            | Msg::StealReq { .. }
+            | Msg::StealNack
+            | Msg::Ack { .. }
+            | Msg::Heartbeat { .. } => None,
         }
     }
 }

@@ -50,6 +50,13 @@ pub struct NodeProfile {
     /// Reliability-layer retransmissions issued from the watchdog (fault
     /// plans only; always zero on a fault-free run).
     pub retransmit: VirtualDuration,
+    /// Failure-detector probes sent (crash plans only).
+    pub heartbeat: VirtualDuration,
+    /// Periodic checkpoint captures (crash plans only).
+    pub checkpoint: VirtualDuration,
+    /// Checkpoint restores, lost-work re-execution, and orphaned-token
+    /// re-homing (crash plans only).
+    pub recover: VirtualDuration,
     /// Synchronization Unit time (dual-processor nodes only).
     pub su: VirtualDuration,
     /// Handling cost of synchronous-class messages (`GET_SYNC` requests).
@@ -65,7 +72,14 @@ pub struct NodeProfile {
 impl NodeProfile {
     /// Total Execution Unit time — equals `NodeStats::busy` exactly.
     pub fn eu_total(&self) -> VirtualDuration {
-        self.poll + self.thread + self.token + self.steal + self.retransmit
+        self.poll
+            + self.thread
+            + self.token
+            + self.steal
+            + self.retransmit
+            + self.heartbeat
+            + self.checkpoint
+            + self.recover
     }
 
     /// Total message-handling time — equals `poll + su` exactly.
@@ -133,7 +147,7 @@ impl RunProfile {
         for (i, (p, s)) in self.nodes.iter().zip(&report.nodes).enumerate() {
             if p.eu_total() != s.busy {
                 return Err(format!(
-                    "node {i}: poll+thread+token+steal+retransmit = {} but busy = {}",
+                    "node {i}: poll+thread+token+steal+retransmit+hb+ckpt+recover = {} but busy = {}",
                     p.eu_total(),
                     s.busy
                 ));
@@ -189,6 +203,9 @@ impl RunProfile {
         b.push("poll service", sum(|p| p.poll));
         b.push("steal traffic", sum(|p| p.steal));
         b.push("retransmit", sum(|p| p.retransmit));
+        b.push("heartbeat", sum(|p| p.heartbeat));
+        b.push("checkpoint", sum(|p| p.checkpoint));
+        b.push("recovery", sum(|p| p.recover));
         b.push("SU service", sum(|p| p.su));
         out.push_str(&b.render("us"));
         let _ = writeln!(out, "message handling by class:");
@@ -259,6 +276,7 @@ mod tests {
             net_dropped: 0,
             net_duplicated: 0,
             net_delayed: 0,
+            net_crash_dropped: 0,
             leftover_tokens: 0,
             live_frames: 0,
         };
@@ -330,6 +348,9 @@ mod tests {
             "poll service",
             "steal traffic",
             "retransmit",
+            "heartbeat",
+            "checkpoint",
+            "recovery",
             "SU service",
             "sync ops",
             "async ops",

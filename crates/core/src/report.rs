@@ -34,6 +34,20 @@ pub struct NodeStats {
     /// Duplicate deliveries this node's NIC suppressed (fault plans
     /// only; always 0 on a fault-free run).
     pub dup_suppressed: u64,
+    /// Failure-detector probes this node sent (crash plans only).
+    pub heartbeats: u64,
+    /// Periodic checkpoints this node took (crash plans only).
+    pub checkpoints: u64,
+    /// Crash-stop faults this node suffered (crash plans only).
+    pub crashes: u64,
+    /// Checkpoint recoveries this node completed (crash plans only).
+    pub recoveries: u64,
+    /// Orphaned tokens this node re-homed to survivors after declaring
+    /// a peer crashed (crash plans only).
+    pub rehomed: u64,
+    /// Total virtual time this node was unavailable: from each crash to
+    /// the end of the matching recovery replay (crash plans only).
+    pub downtime: VirtualDuration,
 }
 
 /// Result of running a simulation to quiescence.
@@ -60,6 +74,9 @@ pub struct RunReport {
     pub net_duplicated: u64,
     /// Messages the fault plane delayed (0 without a fault plan).
     pub net_delayed: u64,
+    /// Messages discarded at a crashed node's NIC before acking (0
+    /// without crash windows; each was later retransmitted).
+    pub net_crash_dropped: u64,
     /// Tokens never executed (0 after a clean run).
     pub leftover_tokens: u64,
     /// Frames still live at quiescence (0 after a clean run).
@@ -105,6 +122,41 @@ impl RunReport {
         self.net_dropped + self.net_duplicated + self.net_delayed > 0
     }
 
+    /// Total crash-stop faults across all nodes (crash plans only).
+    pub fn total_crashes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.crashes).sum()
+    }
+
+    /// Total checkpoint recoveries across all nodes.
+    pub fn total_recoveries(&self) -> u64 {
+        self.nodes.iter().map(|n| n.recoveries).sum()
+    }
+
+    /// Total checkpoints taken across all nodes.
+    pub fn total_checkpoints(&self) -> u64 {
+        self.nodes.iter().map(|n| n.checkpoints).sum()
+    }
+
+    /// Total failure-detector probes sent across all nodes.
+    pub fn total_heartbeats(&self) -> u64 {
+        self.nodes.iter().map(|n| n.heartbeats).sum()
+    }
+
+    /// Total tokens re-homed away from crashed nodes.
+    pub fn total_rehomed(&self) -> u64 {
+        self.nodes.iter().map(|n| n.rehomed).sum()
+    }
+
+    /// Total unavailable time summed over all nodes.
+    pub fn total_downtime(&self) -> VirtualDuration {
+        self.nodes.iter().map(|n| n.downtime).sum()
+    }
+
+    /// True when at least one node crash-stopped during the run.
+    pub fn had_crashes(&self) -> bool {
+        self.total_crashes() > 0
+    }
+
     /// True when the run left no dangling work or frames behind.
     pub fn is_clean(&self) -> bool {
         self.leftover_tokens == 0
@@ -135,6 +187,21 @@ impl fmt::Display for RunReport {
                 self.net_delayed,
                 self.total_retransmits(),
                 self.total_dup_suppressed()
+            )?;
+        }
+        // Likewise, the crash line exists only when a node actually
+        // crash-stopped, so crash-free runs render byte-identically.
+        if self.had_crashes() {
+            writeln!(
+                f,
+                "crashes: {}  recoveries {}  checkpoints {}  heartbeats {}  rehomed {}  nic-dropped {}  downtime {}",
+                self.total_crashes(),
+                self.total_recoveries(),
+                self.total_checkpoints(),
+                self.total_heartbeats(),
+                self.total_rehomed(),
+                self.net_crash_dropped,
+                self.total_downtime()
             )?;
         }
         Ok(())
@@ -168,6 +235,7 @@ mod tests {
             net_dropped: 0,
             net_duplicated: 0,
             net_delayed: 0,
+            net_crash_dropped: 0,
             leftover_tokens: 0,
             live_frames: 0,
         }
@@ -206,6 +274,29 @@ mod tests {
         assert_eq!(r.total_dup_suppressed(), 1);
         assert!(r.had_faults());
         assert!(r.is_clean(), "fault counters do not dirty a run");
+    }
+
+    #[test]
+    fn display_mentions_crashes_only_when_they_fired() {
+        let clean = format!("{}", report());
+        assert!(!clean.contains("crashes"), "{clean}");
+        let mut r = report();
+        r.nodes[0].crashes = 1;
+        r.nodes[0].recoveries = 1;
+        r.nodes[0].downtime = VirtualDuration::from_us(900);
+        r.nodes[1].checkpoints = 4;
+        r.nodes[1].heartbeats = 12;
+        r.nodes[1].rehomed = 2;
+        let s = format!("{r}");
+        assert!(s.starts_with(&clean), "base line must stay identical");
+        assert!(s.contains("crashes: 1"), "{s}");
+        assert!(s.contains("recoveries 1"), "{s}");
+        assert!(s.contains("checkpoints 4"), "{s}");
+        assert!(s.contains("rehomed 2"), "{s}");
+        assert_eq!(r.total_heartbeats(), 12);
+        assert_eq!(r.total_downtime(), VirtualDuration::from_us(900));
+        assert!(r.had_crashes());
+        assert!(r.is_clean(), "crash counters do not dirty a run");
     }
 
     #[test]

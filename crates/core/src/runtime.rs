@@ -16,6 +16,7 @@ use crate::frame::{FrameStore, ThreadedFn};
 use crate::msg::{FuncId, Msg};
 use crate::node::{Node, Token};
 use crate::profile::{ProfileState, RunProfile};
+use crate::recover::{Health, RecoverState};
 use crate::reli::{Envelope, Pending, ReliLayer, ACK_WIRE, ENV_BYTES};
 use crate::report::RunReport;
 use crate::trace::{Activity, Span, Trace};
@@ -38,6 +39,25 @@ pub(crate) enum Event {
     /// A retransmission deadline on one of `NodeId`'s unacked messages
     /// may have passed; wake it if it is idle (fault plans only).
     RetryCheck(NodeId),
+    /// A planned crash window (index into the crash plan) begins: the
+    /// node fail-stops at this instant (crash plans only).
+    Crash(usize),
+    /// A crash window's recovery begins: restore the checkpoint and
+    /// re-execute the lost work (crash plans only).
+    Recover(usize),
+    /// Periodic failure-detector round: every live node probes its ring
+    /// successor (crash plans only; stands down once every planned
+    /// crash has resolved, so the run can drain).
+    ProbeTick,
+    /// Periodic checkpoint capture on every live node (crash plans
+    /// only; stands down with the detector).
+    CkptTick,
+    /// The suspicion alarm for one probe `monitor` sent at `sent`: if no
+    /// ack from its target has arrived since, declare the target crashed.
+    DetectCheck {
+        monitor: NodeId,
+        sent: VirtualTime,
+    },
 }
 
 type Ctor = Box<dyn Fn(&mut ArgsReader<'_>) -> Box<dyn ThreadedFn>>;
@@ -63,6 +83,10 @@ pub struct Runtime {
     /// Reliability layer — `Some` exactly when the machine has a fault
     /// plan installed; fault-free runs never touch it.
     reli: Option<ReliLayer>,
+    /// Crash plane — `Some` exactly when the installed fault plan
+    /// schedules crash windows; every other run (fault plan or not)
+    /// never allocates a detector, checkpoint, or recovery structure.
+    recover: Option<RecoverState>,
     /// Longest message/thread dependency chain observed so far. Tracked
     /// unconditionally: it is a pure observation and costs no virtual time.
     max_cp: VirtualDuration,
@@ -77,14 +101,33 @@ impl Runtime {
             .collect();
         let net_seed = master.next_u64();
         let net = Network::new(cfg, net_seed);
-        let reli = net
-            .fault_rto()
-            .map(|rto| ReliLayer::new(net.config().nodes, rto));
+        let plan = net.config().faults.as_ref();
+        let reli = plan.map(|p| ReliLayer::new(net.config().nodes, p.rto, p.rto_cap()));
+        let recover = plan
+            .filter(|p| p.has_crashes())
+            .map(|p| RecoverState::new(p, net.config().nodes));
+        let mut events = EventQueue::new();
+        if let Some(rec) = recover.as_ref() {
+            // Arm the crash plane: planned crashes (and scheduled
+            // restarts) at their instants, plus the first detector and
+            // checkpoint rounds. The periodic ticks re-arm themselves
+            // until every planned crash has resolved, then stand down so
+            // the event queue can drain to quiescence.
+            for (i, c) in rec.crashes.iter().enumerate() {
+                events.push(c.down, Event::Crash(i));
+                if let Some(up) = c.up {
+                    events.push(up, Event::Recover(i));
+                }
+            }
+            events.push(VirtualTime::ZERO + rec.heartbeat_every, Event::ProbeTick);
+            events.push(VirtualTime::ZERO + rec.checkpoint_every, Event::CkptTick);
+        }
         Runtime {
             nodes,
             net,
             reli,
-            events: EventQueue::new(),
+            recover,
+            events,
             funcs: Vec::new(),
             global_tokens: 0,
             marks: Vec::new(),
@@ -254,6 +297,11 @@ impl Runtime {
                 Event::Deliver(node, msg, cp, env) => self.deliver(t, node, msg, cp, env),
                 Event::Wake(node) => self.wake(t, node),
                 Event::RetryCheck(node) => self.retry_check(t, node),
+                Event::Crash(i) => self.crash_node(t, i),
+                Event::Recover(i) => self.recover_node(t, i),
+                Event::ProbeTick => self.probe_tick(t),
+                Event::CkptTick => self.ckpt_tick(t),
+                Event::DetectCheck { monitor, sent } => self.detect_check(t, monitor, sent),
             }
         }
         self.report()
@@ -272,6 +320,7 @@ impl Runtime {
             net_dropped: net.dropped,
             net_duplicated: net.duplicated,
             net_delayed: net.delayed,
+            net_crash_dropped: net.crash_dropped,
             leftover_tokens: self.global_tokens,
             live_frames: self.nodes.iter().map(|n| n.frames.live as u64).sum(),
         }
@@ -399,6 +448,14 @@ impl Runtime {
         cp: VirtualDuration,
         env: Option<Envelope>,
     ) {
+        // Crash plane: a down node's NIC discards every arrival *before*
+        // acking it. Reliable traffic is retransmitted by the sender's
+        // watchdog until the node returns; unprotected acks addressed to
+        // it are covered by the usual retransmit + dedup cycle.
+        if self.recover.as_ref().is_some_and(|r| r.is_down(node)) {
+            self.net.note_crash_drop();
+            return;
+        }
         if let Some(env) = env {
             // NIC-level protocol, costing no EU time (mirrors the EARTH
             // NIC/SU handling hardware-level flow control): ack every copy
@@ -451,6 +508,219 @@ impl Runtime {
         }
     }
 
+    /// A planned crash window begins: the node fail-stops. All of its
+    /// Rust-side state stays in place — the recovery replay provably
+    /// reconstructs it bit-for-bit (deterministic re-execution from the
+    /// last checkpoint with the NIC's pessimistic receive log), so the
+    /// simulator models recovery as charging the replay's virtual time
+    /// rather than re-materializing identical state.
+    fn crash_node(&mut self, t: VirtualTime, i: usize) {
+        let Some(rec) = self.recover.as_mut() else {
+            return;
+        };
+        let node = rec.crashes[i].node as usize;
+        assert!(
+            rec.health[node] == Health::Up,
+            "overlapping crash windows on node {node}"
+        );
+        rec.health[node] = Health::Down;
+        rec.down_since[node] = t;
+        rec.lost_work[node] = rec.busy_since_ckpt[node];
+        self.nodes[node].stats.crashes += 1;
+    }
+
+    /// A crash window's recovery begins — at its scheduled restart
+    /// instant, or at the detection instant for failover crashes. The
+    /// node charges `restore_cost` plus a re-execution of everything it
+    /// had run since its last checkpoint, then wakes: its NIC accepts
+    /// traffic from here on (queued behind the replay), so the senders'
+    /// retransmissions drain.
+    fn recover_node(&mut self, t: VirtualTime, i: usize) {
+        let Some(rec) = self.recover.as_mut() else {
+            return;
+        };
+        if rec.crashes[i].resolved {
+            return;
+        }
+        rec.crashes[i].resolved = true;
+        let node = rec.crashes[i].node as usize;
+        rec.health[node] = Health::Up;
+        rec.suspected[node] = false;
+        let replay = rec.restore_cost + rec.lost_work[node];
+        rec.lost_work[node] = VirtualDuration::ZERO;
+        // The replay ends in crash-time state, freshly re-checkpointed.
+        rec.busy_since_ckpt[node] = VirtualDuration::ZERO;
+        let down_since = rec.down_since[node];
+        let nid = NodeId(node as u16);
+        let n = &mut self.nodes[node];
+        n.stats.recoveries += 1;
+        n.stats.downtime += (t + replay).since(down_since);
+        n.stats.busy += replay;
+        n.busy = true;
+        n.wake_pending = true;
+        self.last_activity = self.last_activity.max_of(t + replay);
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(nid, t, t + replay, Activity::Recover);
+        }
+        if let Some(prof) = self.profile.as_mut() {
+            prof.nodes[node].recover += replay;
+        }
+        self.events.push(t + replay, Event::Wake(nid));
+    }
+
+    /// One failure-detector round: every live node probes its ring
+    /// successor over the reliable path and arms a suspicion alarm. The
+    /// tick re-arms itself until every planned crash has resolved.
+    fn probe_tick(&mut self, t: VirtualTime) {
+        let Some(rec) = self.recover.as_ref() else {
+            return;
+        };
+        if rec.all_resolved() {
+            return; // stand down; the queue drains and the run ends
+        }
+        let (every, suspect_after) = (rec.heartbeat_every, rec.suspect_after);
+        let cost = self.config().earth.op_send;
+        for m in 0..self.nodes.len() {
+            let rec = self.recover.as_ref().unwrap();
+            if rec.health[m] == Health::Down {
+                continue; // a dead node probes no one
+            }
+            let (monitor, target) = (NodeId(m as u16), rec.target_of(m));
+            let n = &mut self.nodes[m];
+            n.stats.heartbeats += 1;
+            n.stats.busy += cost;
+            self.last_activity = self.last_activity.max_of(t + cost);
+            if let Some(tr) = self.trace.as_mut() {
+                tr.record(monitor, t, t + cost, Activity::Heartbeat);
+            }
+            if let Some(prof) = self.profile.as_mut() {
+                prof.nodes[m].heartbeat += cost;
+            }
+            let sent = t + cost;
+            // A probe starts a fresh dependency chain: nothing the
+            // application does ever waits on one.
+            self.transmit(
+                sent,
+                monitor,
+                target,
+                Msg::Heartbeat { from: monitor },
+                VirtualDuration::ZERO,
+            );
+            self.events
+                .push(sent + suspect_after, Event::DetectCheck { monitor, sent });
+        }
+        self.events.push(t + every, Event::ProbeTick);
+    }
+
+    /// One checkpoint round: every live node snapshots its frames,
+    /// sync-slot counters, memory segments, and queued tokens, resetting
+    /// its lost-work meter. Re-arms itself alongside the detector.
+    fn ckpt_tick(&mut self, t: VirtualTime) {
+        let Some(rec) = self.recover.as_ref() else {
+            return;
+        };
+        if rec.all_resolved() {
+            return; // stand down with the detector
+        }
+        let (every, cost) = (rec.checkpoint_every, rec.checkpoint_cost);
+        for i in 0..self.nodes.len() {
+            let rec = self.recover.as_mut().unwrap();
+            if rec.health[i] == Health::Down {
+                continue; // nothing to capture; recovery re-checkpoints
+            }
+            rec.busy_since_ckpt[i] = VirtualDuration::ZERO;
+            let n = &mut self.nodes[i];
+            n.stats.checkpoints += 1;
+            if !cost.is_zero() {
+                n.stats.busy += cost;
+                self.last_activity = self.last_activity.max_of(t + cost);
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.record(NodeId(i as u16), t, t + cost, Activity::Checkpoint);
+                }
+                if let Some(prof) = self.profile.as_mut() {
+                    prof.nodes[i].checkpoint += cost;
+                }
+            }
+        }
+        self.events.push(t + every, Event::CkptTick);
+    }
+
+    /// The suspicion alarm for one probe: if the monitor has seen no ack
+    /// from its target since the probe went out, declare the target
+    /// crashed — re-home its queued tokens to the survivors and, for a
+    /// crash without a scheduled restart, begin failover recovery now.
+    fn detect_check(&mut self, t: VirtualTime, monitor: NodeId, sent: VirtualTime) {
+        let Some(rec) = self.recover.as_mut() else {
+            return;
+        };
+        let m = monitor.index();
+        if rec.health[m] == Health::Down {
+            return; // a dead monitor detects nothing
+        }
+        let target = rec.target_of(m);
+        if rec.suspected[target.index()] || rec.last_ack_from[m] > sent {
+            return; // already declared, or the target proved alive since
+        }
+        rec.suspected[target.index()] = true;
+        if rec.is_down(target) {
+            if let Some(i) = rec.pending_failover(target) {
+                rec.crashes[i].recovery_scheduled = true;
+                self.events.push(t, Event::Recover(i));
+            }
+        }
+        self.rehome_tokens(t, monitor, target);
+    }
+
+    /// Graceful degradation: the monitor adopts the declared node's
+    /// queued tokens (recoverable from its buddy checkpoint) and spreads
+    /// them round-robin over the surviving nodes, so the work finishes
+    /// without the crashed node.
+    fn rehome_tokens(&mut self, t: VirtualTime, monitor: NodeId, target: NodeId) {
+        let orphans: Vec<Token> = self.nodes[target.index()].tokens.drain(..).collect();
+        if orphans.is_empty() {
+            return;
+        }
+        let rec = self.recover.as_ref().unwrap();
+        let mut survivors: Vec<NodeId> = (0..self.nodes.len())
+            .filter(|&i| rec.health[i] == Health::Up && !rec.suspected[i])
+            .map(|i| NodeId(i as u16))
+            .collect();
+        if survivors.is_empty() {
+            // Pathological mass suspicion: the monitor keeps the work.
+            survivors.push(monitor);
+        }
+        let costs = self.config().earth;
+        let mut elapsed = VirtualDuration::ZERO;
+        for (k, token) in orphans.into_iter().enumerate() {
+            let dst = survivors[k % survivors.len()];
+            elapsed += costs.token_op + costs.op_send;
+            self.nodes[monitor.index()].stats.rehomed += 1;
+            // The re-homed token's chain now includes its adoption cost.
+            self.transmit(
+                t + elapsed,
+                monitor,
+                dst,
+                Msg::Token {
+                    func: token.func,
+                    args: token.args,
+                },
+                token.cp + elapsed,
+            );
+        }
+        let n = &mut self.nodes[monitor.index()];
+        n.stats.busy += elapsed;
+        self.last_activity = self.last_activity.max_of(t + elapsed);
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(monitor, t, t + elapsed, Activity::Recover);
+        }
+        if let Some(prof) = self.profile.as_mut() {
+            prof.nodes[monitor.index()].recover += elapsed;
+        }
+        if let Some(rec) = self.recover.as_mut() {
+            rec.busy_since_ckpt[monitor.index()] += elapsed;
+        }
+    }
+
     fn wake(&mut self, t: VirtualTime, node: NodeId) {
         {
             let n = &mut self.nodes[node.index()];
@@ -462,6 +732,12 @@ impl Runtime {
 
     /// One scheduling round: poll, then run one thread / token, or steal.
     fn schedule(&mut self, t: VirtualTime, node: NodeId) {
+        // Crash plane: a down node schedules nothing at all. Its Recover
+        // event wakes it when the replay completes; stray wakes (pokes,
+        // retry checks, a pre-crash round's end) die here.
+        if self.recover.as_ref().is_some_and(|r| r.is_down(node)) {
+            return;
+        }
         // Planned node pause (fault plans only): the node stalls between
         // rounds — no polling, no threads, no retransmits. Deliveries
         // queue at the NIC; the wake at the window's end rechecks, so
@@ -592,7 +868,12 @@ impl Runtime {
                     Activity::Thread => p.thread += run,
                     Activity::TokenRun => p.token += run,
                     Activity::Steal => p.steal += run,
-                    Activity::Poll | Activity::Su | Activity::Retransmit => {
+                    Activity::Poll
+                    | Activity::Su
+                    | Activity::Retransmit
+                    | Activity::Heartbeat
+                    | Activity::Checkpoint
+                    | Activity::Recover => {
                         unreachable!("no post-poll work")
                     }
                 }
@@ -607,6 +888,11 @@ impl Runtime {
             let end = t + elapsed;
             self.last_activity = self.last_activity.max_of(end);
             self.events.push(end, Event::Wake(node));
+            if let Some(rec) = self.recover.as_mut() {
+                // Work done since the last checkpoint: what a crash right
+                // now would force the recovery replay to re-execute.
+                rec.busy_since_ckpt[node.index()] += elapsed;
+            }
         }
         // else: idle; a Deliver or a poke will wake us.
     }
@@ -623,8 +909,16 @@ impl Runtime {
     /// Send a steal request to a peer believed to hold tokens. Returns the
     /// CPU time spent.
     fn try_steal(&mut self, t: VirtualTime, node: NodeId) -> VirtualDuration {
+        // Graceful degradation: never target a node the detector
+        // suspects (or one that is actually down) — a request there
+        // would only stall in its NIC until recovery.
+        let avoid = |i: usize| {
+            self.recover
+                .as_ref()
+                .is_some_and(|r| r.suspected[i] || r.health[i] == Health::Down)
+        };
         let victims: Vec<NodeId> = (0..self.nodes.len())
-            .filter(|&i| i != node.index() && !self.nodes[i].tokens.is_empty())
+            .filter(|&i| i != node.index() && !self.nodes[i].tokens.is_empty() && !avoid(i))
             .map(|i| NodeId(i as u16))
             .collect();
         let Some(&victim) = self.nodes[node.index()].rng.choose(&victims) else {
@@ -796,6 +1090,29 @@ impl Runtime {
                     // released by an earlier copy) removes nothing.
                     reli.unacked[node.index()].remove(&(from.0, seq));
                 }
+                if let Some(rec) = self.recover.as_mut() {
+                    // Failure detector: an ack from our probe target is
+                    // its liveness proof; an ack from any live node heals
+                    // a false suspicion (e.g. one caused by dropped acks).
+                    if rec.target_of(node.index()) == from {
+                        let last = &mut rec.last_ack_from[node.index()];
+                        *last = last.max_of(at);
+                    }
+                    if !rec.is_down(from) {
+                        rec.suspected[from.index()] = false;
+                    }
+                }
+            }
+            Msg::Heartbeat { from } => {
+                // Liveness is proven by the NIC-level ack this probe
+                // already triggered; the probe body needs no service
+                // beyond the receive charge.
+                debug_assert!(
+                    self.recover
+                        .as_ref()
+                        .is_none_or(|r| r.target_of(from.index()) == node),
+                    "heartbeat from {from:?} landed off-ring on {node:?}"
+                );
             }
         }
         cost

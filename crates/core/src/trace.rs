@@ -26,6 +26,13 @@ pub enum Activity {
     Steal,
     /// Reliability-layer retransmissions (fault plans only).
     Retransmit,
+    /// Failure-detector probe traffic (crash plans only).
+    Heartbeat,
+    /// Taking a periodic checkpoint (crash plans only).
+    Checkpoint,
+    /// Restoring a checkpoint and re-executing lost work after a crash
+    /// (crash plans only).
+    Recover,
     /// Synchronization Unit message service (dual-processor mode; only
     /// appears in earth-profile's SU spans, never in the EU trace).
     Su,
@@ -79,8 +86,9 @@ impl Trace {
     }
 
     /// Render a text Gantt: one row per node, `width` columns spanning
-    /// the trace; `#` thread execution, `t` token runs, `s` stealing,
-    /// `r` retransmissions, `u` SU service, `.` polling, space idle.
+    /// the trace; `#` thread execution, `t` token runs, `R` recovery,
+    /// `k` checkpoints, `h` heartbeats, `s` stealing, `r`
+    /// retransmissions, `u` SU service, `.` polling, space idle.
     pub fn timeline(&self, nodes: u16, width: usize) -> String {
         assert!(width >= 10);
         let end = self
@@ -102,6 +110,9 @@ impl Trace {
                 let ch = match s.what {
                     Activity::Thread => b'#',
                     Activity::TokenRun => b't',
+                    Activity::Recover => b'R',
+                    Activity::Checkpoint => b'k',
+                    Activity::Heartbeat => b'h',
                     Activity::Poll => b'.',
                     Activity::Steal => b's',
                     Activity::Retransmit => b'r',
@@ -112,8 +123,11 @@ impl Trace {
                     // its own rank, so a steal marker is never hidden by a
                     // poll span covering the same columns.
                     let rank = |c: u8| match c {
-                        b'#' => 6,
-                        b't' => 5,
+                        b'#' => 9,
+                        b't' => 8,
+                        b'R' => 7,
+                        b'k' => 6,
+                        b'h' => 5,
                         b's' => 4,
                         b'r' => 3,
                         b'u' => 2,
@@ -203,7 +217,7 @@ mod tests {
 
     #[test]
     fn every_activity_has_a_distinct_rank() {
-        // All six activities stacked on the same interval: the busiest
+        // All nine activities stacked on the same interval: the busiest
         // ('#') wins, and removing it promotes the next rank, so no two
         // activities can silently tie.
         let acts = [
@@ -211,6 +225,9 @@ mod tests {
             (Activity::Su, 'u'),
             (Activity::Retransmit, 'r'),
             (Activity::Steal, 's'),
+            (Activity::Heartbeat, 'h'),
+            (Activity::Checkpoint, 'k'),
+            (Activity::Recover, 'R'),
             (Activity::TokenRun, 't'),
             (Activity::Thread, '#'),
         ];

@@ -129,6 +129,23 @@ pub struct PauseWindow {
     pub end: VirtualTime,
 }
 
+/// A crash-stop window: `node` fail-stops at `down` (its NIC drops
+/// every arriving message before acking, its scheduler runs nothing)
+/// and — when `up` is set — restarts at `up`, replaying its last
+/// checkpoint. When `up` is `None` the node stays down until the
+/// failure detector declares it and triggers failover-restart at the
+/// detection instant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrashWindow {
+    /// The crashing node.
+    pub node: u16,
+    /// Crash instant (inclusive: the node is down from here on).
+    pub down: VirtualTime,
+    /// Scheduled restart instant, or `None` for detector-driven
+    /// failover-restart.
+    pub up: Option<VirtualTime>,
+}
+
 /// Declarative description of every fault the network should inject.
 ///
 /// Built with the `with_*` methods; installed with
@@ -150,10 +167,31 @@ pub struct FaultPlan {
     pub brownouts: Vec<BrownoutWindow>,
     /// Per-node pause intervals.
     pub pauses: Vec<PauseWindow>,
+    /// Crash-stop windows (fail-stop with checkpoint/recovery).
+    pub crashes: Vec<CrashWindow>,
     /// Base retransmission timeout margin used by the runtime's
     /// reliability layer (added on top of the expected round trip,
     /// doubling per attempt).
     pub rto: VirtualDuration,
+    /// Hard cap on the backed-off retransmission timeout, or `None`
+    /// for the default of `64 × rto` (the value the shift cap alone
+    /// used to enforce, so existing plans are unchanged).
+    pub rto_max: Option<VirtualDuration>,
+    /// Failure-detector probe period: each node probes its ring
+    /// successor this often while crash windows are armed.
+    pub heartbeat_every: VirtualDuration,
+    /// Suspicion timeout: a monitor declares its target crashed when no
+    /// ack has arrived for a probe sent this long ago.
+    pub suspect_after: VirtualDuration,
+    /// Checkpoint period: every live node snapshots its frames, sync
+    /// slots, memory segments, and queued tokens this often while crash
+    /// windows are armed.
+    pub checkpoint_every: VirtualDuration,
+    /// EU time one checkpoint costs a node.
+    pub checkpoint_cost: VirtualDuration,
+    /// EU time restoring a checkpoint costs a recovering node (on top
+    /// of re-executing the work lost since the last checkpoint).
+    pub restore_cost: VirtualDuration,
 }
 
 impl Default for FaultPlan {
@@ -173,7 +211,14 @@ impl FaultPlan {
             spikes: Vec::new(),
             brownouts: Vec::new(),
             pauses: Vec::new(),
+            crashes: Vec::new(),
             rto: VirtualDuration::from_us(250),
+            rto_max: None,
+            heartbeat_every: VirtualDuration::from_us(1_000),
+            suspect_after: VirtualDuration::from_us(4_000),
+            checkpoint_every: VirtualDuration::from_us(5_000),
+            checkpoint_cost: VirtualDuration::from_us(20),
+            restore_cost: VirtualDuration::from_us(200),
         }
     }
 
@@ -261,11 +306,88 @@ impl FaultPlan {
         self
     }
 
+    /// Crash `node` at `t` and leave it down until the failure detector
+    /// declares it (failover-restart at the detection instant).
+    pub fn with_node_crash(mut self, node: u16, t: VirtualTime) -> Self {
+        self.crashes.push(CrashWindow {
+            node,
+            down: t,
+            up: None,
+        });
+        self
+    }
+
+    /// Crash `node` at `t_down` and restart it at `t_up`, replaying its
+    /// last checkpoint.
+    pub fn with_crash_restart(mut self, node: u16, t_down: VirtualTime, t_up: VirtualTime) -> Self {
+        assert!(t_up > t_down, "crash window must be non-empty");
+        self.crashes.push(CrashWindow {
+            node,
+            down: t_down,
+            up: Some(t_up),
+        });
+        self
+    }
+
+    /// Set the failure-detector probe period.
+    pub fn with_heartbeat_every(mut self, d: VirtualDuration) -> Self {
+        assert!(!d.is_zero(), "heartbeat period must be positive");
+        self.heartbeat_every = d;
+        self
+    }
+
+    /// Set the failure-detector suspicion timeout.
+    pub fn with_suspect_after(mut self, d: VirtualDuration) -> Self {
+        assert!(!d.is_zero(), "suspicion timeout must be positive");
+        self.suspect_after = d;
+        self
+    }
+
+    /// Set the checkpoint period.
+    pub fn with_checkpoint_every(mut self, d: VirtualDuration) -> Self {
+        assert!(!d.is_zero(), "checkpoint period must be positive");
+        self.checkpoint_every = d;
+        self
+    }
+
+    /// Set the EU cost of taking one checkpoint.
+    pub fn with_checkpoint_cost(mut self, d: VirtualDuration) -> Self {
+        self.checkpoint_cost = d;
+        self
+    }
+
+    /// Set the EU cost of restoring a checkpoint on recovery.
+    pub fn with_restore_cost(mut self, d: VirtualDuration) -> Self {
+        self.restore_cost = d;
+        self
+    }
+
     /// Set the base retransmission timeout margin.
     pub fn with_rto(mut self, rto: VirtualDuration) -> Self {
         assert!(!rto.is_zero(), "rto must be positive");
         self.rto = rto;
         self
+    }
+
+    /// Cap the backed-off retransmission timeout at `max` so long
+    /// outages can't double it into absurd virtual times.
+    pub fn with_rto_cap(mut self, max: VirtualDuration) -> Self {
+        assert!(!max.is_zero(), "rto cap must be positive");
+        self.rto_max = Some(max);
+        self
+    }
+
+    /// The effective retransmission-timeout ceiling: the configured cap,
+    /// or `64 × rto` — exactly what the attempt-shift cap alone used to
+    /// enforce, so plans without an explicit cap are byte-identical.
+    pub fn rto_cap(&self) -> VirtualDuration {
+        self.rto_max.unwrap_or_else(|| self.rto.times(64))
+    }
+
+    /// True when the plan schedules at least one crash-stop window (the
+    /// runtime arms the detector/checkpoint plane only then).
+    pub fn has_crashes(&self) -> bool {
+        !self.crashes.is_empty()
     }
 
     /// True when the plan can never inject anything: no probability is
@@ -277,6 +399,7 @@ impl FaultPlan {
             && self.spikes.is_empty()
             && self.brownouts.is_empty()
             && self.pauses.is_empty()
+            && self.crashes.is_empty()
     }
 
     /// Effective probabilities for one link.
@@ -334,6 +457,52 @@ pub struct FaultState {
     nodes: u16,
     /// Per-link message counters indexing the counter-based stream.
     counters: Vec<u64>,
+    /// Per-node pause step function: disjoint `(start, end, resume)`
+    /// segments sorted by start, where `resume` is the instant
+    /// `pause_until` reports anywhere inside the segment. Compiled once
+    /// at construction so the per-event query never rescans the plan.
+    pause_segs: Vec<Vec<(VirtualTime, VirtualTime, VirtualTime)>>,
+    /// Per-node cursor into `pause_segs`: event times are globally
+    /// non-decreasing, so each node's queries only ever move forward and
+    /// the lookup is O(1) amortized.
+    pause_cursor: Vec<usize>,
+}
+
+/// Compile one node's pause windows into the disjoint segments of
+/// `max { end : start <= t < end }` — the exact step function the
+/// linear scan computes, including the "overlap takes the furthest
+/// end *among covering windows*" shape (a window starting later than
+/// `t` must not contribute even when it overlaps an active one).
+fn pause_segments(
+    windows: &[PauseWindow],
+    node: u16,
+) -> Vec<(VirtualTime, VirtualTime, VirtualTime)> {
+    let mine: Vec<&PauseWindow> = windows.iter().filter(|w| w.node == node).collect();
+    if mine.is_empty() {
+        return Vec::new();
+    }
+    let mut cuts: Vec<VirtualTime> = mine.iter().flat_map(|w| [w.start, w.end]).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut segs: Vec<(VirtualTime, VirtualTime, VirtualTime)> = Vec::new();
+    for pair in cuts.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let resume = mine
+            .iter()
+            .filter(|w| w.start <= a && a < w.end)
+            .map(|w| w.end)
+            .max();
+        if let Some(r) = resume {
+            match segs.last_mut() {
+                // Coalesce abutting segments with the same resume so the
+                // cursor skips fewer pieces; different resumes must stay
+                // split to preserve the scan's exact answers.
+                Some(last) if last.1 == a && last.2 == r => last.1 = b,
+                _ => segs.push((a, b, r)),
+            }
+        }
+    }
+    segs
 }
 
 impl FaultState {
@@ -342,11 +511,16 @@ impl FaultState {
     /// draws never overlap the latency-jitter stream.
     pub fn new(plan: FaultPlan, seed: u64, nodes: u16) -> Self {
         let n = nodes as usize;
+        let pause_segs = (0..nodes)
+            .map(|i| pause_segments(&plan.pauses, i))
+            .collect();
         FaultState {
             plan,
             seed,
             nodes,
             counters: vec![0; n * n],
+            pause_segs,
+            pause_cursor: vec![0; n],
         }
     }
 
@@ -408,7 +582,27 @@ impl FaultState {
 
     /// If `node` is paused at `t`, the instant its stall ends (the
     /// furthest end among windows covering `t`); `None` when running.
-    pub fn pause_until(&self, node: u16, t: VirtualTime) -> Option<VirtualTime> {
+    ///
+    /// Queries ride the event loop, whose times never decrease, so each
+    /// node's cursor into its precompiled segments only moves forward:
+    /// O(1) amortized instead of a scan over the plan per event.
+    pub fn pause_until(&mut self, node: u16, t: VirtualTime) -> Option<VirtualTime> {
+        let segs = &self.pause_segs[node as usize];
+        let cur = &mut self.pause_cursor[node as usize];
+        while *cur < segs.len() && segs[*cur].1 <= t {
+            *cur += 1;
+        }
+        match segs.get(*cur) {
+            Some(&(start, _, resume)) if start <= t => Some(resume),
+            _ => None,
+        }
+    }
+
+    /// Reference implementation of [`FaultState::pause_until`]: the
+    /// original linear scan over the raw plan windows. Kept so tests can
+    /// assert the segment/cursor fast path never changes an answer (and
+    /// therefore never changes a schedule byte).
+    pub fn pause_until_scan(&self, node: u16, t: VirtualTime) -> Option<VirtualTime> {
         self.plan
             .pauses
             .iter()
@@ -587,7 +781,7 @@ mod tests {
         let plan = FaultPlan::new()
             .with_node_pause(2, t(10), t(20))
             .with_node_pause(2, t(15), t(40));
-        let st = FaultState::new(plan, 1, 4);
+        let mut st = FaultState::new(plan, 1, 4);
         assert_eq!(st.pause_until(2, t(5)), None);
         assert_eq!(st.pause_until(2, t(12)), Some(t(20)));
         assert_eq!(
@@ -603,5 +797,69 @@ mod tests {
     #[should_panic(expected = "outside [0, 1)")]
     fn probability_of_one_is_rejected() {
         let _ = FaultPlan::new().with_drop(1.0);
+    }
+
+    #[test]
+    fn crash_windows_arm_the_plan() {
+        let p = FaultPlan::new().with_node_crash(3, t(500));
+        assert!(!p.is_trivial(), "a crash-only plan must install");
+        assert!(p.has_crashes());
+        assert_eq!(p.crashes[0].up, None, "crash-stop waits for failover");
+        let q = FaultPlan::new().with_crash_restart(1, t(100), t(900));
+        assert_eq!(q.crashes[0].up, Some(t(900)));
+        assert!(!FaultPlan::new().has_crashes());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_crash_window_is_rejected() {
+        let _ = FaultPlan::new().with_crash_restart(0, t(10), t(10));
+    }
+
+    #[test]
+    fn rto_cap_defaults_to_the_old_shift_ceiling() {
+        let p = FaultPlan::new().with_rto(VirtualDuration::from_us(250));
+        assert_eq!(p.rto_cap(), VirtualDuration::from_us(250).times(64));
+        let q = p.with_rto_cap(VirtualDuration::from_us(2_000));
+        assert_eq!(q.rto_cap(), VirtualDuration::from_us(2_000));
+    }
+
+    #[test]
+    fn pause_cursor_matches_linear_scan_on_monotone_queries() {
+        // Messy overlapping / nested / abutting windows across nodes,
+        // probed at every microsecond in event order: the precompiled
+        // segments must reproduce the scan answer exactly.
+        let plan = FaultPlan::new()
+            .with_node_pause(0, t(10), t(20))
+            .with_node_pause(0, t(15), t(40))
+            .with_node_pause(0, t(40), t(45))
+            .with_node_pause(1, t(5), t(50))
+            .with_node_pause(1, t(8), t(12))
+            .with_node_pause(2, t(30), t(31));
+        let mut fast = FaultState::new(plan, 11, 4);
+        let slow = fast.clone();
+        for us in 0..60u64 {
+            for node in 0..4u16 {
+                assert_eq!(
+                    fast.pause_until(node, t(us)),
+                    slow.pause_until_scan(node, t(us)),
+                    "node {node} at {us}us"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pause_cursor_is_exact_at_window_edges() {
+        let plan = FaultPlan::new()
+            .with_node_pause(2, t(10), t(20))
+            .with_node_pause(2, t(20), t(30));
+        let mut st = FaultState::new(plan, 1, 4);
+        // Abutting windows must not merge into one resume instant: at
+        // t=19 only the first window covers, so the node wakes at 20 and
+        // re-queries — exactly what the linear scan reported.
+        assert_eq!(st.pause_until(2, t(19)), Some(t(20)));
+        assert_eq!(st.pause_until(2, t(20)), Some(t(30)));
+        assert_eq!(st.pause_until(2, t(30)), None);
     }
 }

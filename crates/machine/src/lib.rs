@@ -33,5 +33,6 @@ pub use topology::NodeId;
 // Re-export the fault plane so downstream crates (runtime, apps, bench)
 // can build `FaultPlan`s without depending on earth-faults directly.
 pub use earth_faults::{
-    BrownoutWindow, Fate, FaultKind, FaultPlan, FaultState, LinkProbs, PauseWindow, SpikeWindow,
+    BrownoutWindow, CrashWindow, Fate, FaultKind, FaultPlan, FaultState, LinkProbs, PauseWindow,
+    SpikeWindow,
 };

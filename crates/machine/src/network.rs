@@ -38,6 +38,9 @@ pub struct NetworkStats {
     pub duplicated: u64,
     /// Messages held back by a reorder delay (fault plane).
     pub delayed: u64,
+    /// Messages a crashed node's NIC discarded before acking (crash
+    /// plane; the sender's reliability layer retransmits them).
+    pub crash_dropped: u64,
 }
 
 /// One fault-plane decision that fired, for the observability layer
@@ -170,8 +173,17 @@ impl Network {
 
     /// If `node` is inside a planned pause window at `t`, the instant its
     /// stall ends; `None` when running normally (or no plan installed).
-    pub fn pause_until(&self, node: NodeId, t: VirtualTime) -> Option<VirtualTime> {
-        self.faults.as_ref()?.pause_until(node.0, t)
+    /// Takes `&mut self`: the lookup advances the fault state's per-node
+    /// pause cursor (queries ride the non-decreasing event clock).
+    pub fn pause_until(&mut self, node: NodeId, t: VirtualTime) -> Option<VirtualTime> {
+        self.faults.as_mut()?.pause_until(node.0, t)
+    }
+
+    /// Count a message a crashed node's NIC discarded before acking.
+    /// The runtime calls this from its delivery path; the fabric itself
+    /// already did its work, so only the counter moves.
+    pub fn note_crash_drop(&mut self) {
+        self.stats.crash_dropped += 1;
     }
 
     /// Machine configuration in force.

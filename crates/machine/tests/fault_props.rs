@@ -3,9 +3,9 @@
 //! links — and the network resolves the same sends to the same fates on
 //! every same-seeded replay.
 
-use earth_machine::{FaultState, MachineConfig, Network, NodeId};
+use earth_machine::{FaultPlan, FaultState, MachineConfig, Network, NodeId};
 use earth_sim::VirtualTime;
-use earth_testkit::domain::fault_plan;
+use earth_testkit::domain::{crash_plan, fault_plan};
 use earth_testkit::prelude::*;
 
 fn t(us: u64) -> VirtualTime {
@@ -87,5 +87,60 @@ props! {
             log
         };
         prop_assert_eq!(run(), run(), "same (seed, plan) must replay byte-identically");
+    }
+
+    #[test]
+    fn crash_windows_do_not_perturb_the_fate_stream(
+        plan in fault_plan(0.3, 0.2),
+        crashes in crash_plan(4, 10..2_000),
+        seed in any::<u64>(),
+    ) {
+        // Crash windows are schedule-driven, not fate-driven: arming
+        // them must not consume (or shift) a single SplitMix64 draw, so
+        // the drop/dup/delay schedule stays byte-identical.
+        let mut with = plan.clone();
+        with.crashes = crashes.crashes;
+        let mut a = FaultState::new(plan, seed, 4);
+        let mut b = FaultState::new(with, seed, 4);
+        for step in 0u64..200 {
+            let (src, dst) = ((step % 4) as u16, ((step / 4) % 4) as u16);
+            if src == dst {
+                continue;
+            }
+            let now = t(step * 3);
+            prop_assert_eq!(
+                format!("{:?}", a.fate(now, src, dst)),
+                format!("{:?}", b.fate(now, src, dst)),
+                "fate diverged at step {}", step
+            );
+        }
+    }
+
+    #[test]
+    fn pause_cursor_matches_linear_scan_on_monotone_queries(
+        wins in collection::vec((0u16..4, 0u64..500, 1u64..120), 0..8),
+        deltas in collection::vec(0u64..60, 1..80),
+        seed in any::<u64>(),
+    ) {
+        // The O(1)-amortized pause cursor must answer exactly like the
+        // reference linear scan on any non-decreasing query sequence —
+        // including overlapping, nested, and abutting windows.
+        let mut plan = FaultPlan::new().with_drop(0.01);
+        for &(node, start, len) in &wins {
+            plan = plan.with_node_pause(node, t(start), t(start + len));
+        }
+        let mut st = FaultState::new(plan, seed, 4);
+        let mut now = 0u64;
+        for &d in &deltas {
+            now += d;
+            for node in 0..4u16 {
+                let scanned = st.pause_until_scan(node, t(now));
+                prop_assert_eq!(
+                    st.pause_until(node, t(now)),
+                    scanned,
+                    "cursor diverged from scan at t={} node {}", now, node
+                );
+            }
+        }
     }
 }

@@ -116,6 +116,31 @@ pub fn fault_plan(max_drop: f64, max_dup: f64) -> impl Strategy<Value = FaultPla
         })
 }
 
+/// A crash plan: one node in `[0, nodes)` crash-stops at an instant
+/// drawn from `down_us` (microseconds), and — half the time — restarts
+/// a bounded delay later (otherwise the failure detector drives the
+/// failover restart). `nodes` must be at least 2 so detection and
+/// re-homing always have a survivor.
+pub fn crash_plan(nodes: u16, down_us: Range<u64>) -> impl Strategy<Value = FaultPlan> {
+    assert!(nodes >= 2, "crash plans need a survivor");
+    (
+        0u64..u64::from(nodes),
+        down_us,
+        crate::strategy::any::<bool>(),
+        500u64..3_000,
+    )
+        .prop_map(|(node, down_us, restart, up_delay_us)| {
+            let node = node as u16;
+            let down = VirtualTime::from_ns(down_us * 1_000);
+            if restart {
+                let up = down + VirtualDuration::from_us(up_delay_us);
+                FaultPlan::new().with_crash_restart(node, down, up)
+            } else {
+                FaultPlan::new().with_node_crash(node, down)
+            }
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +195,28 @@ mod tests {
             assert!(p.default_probs.drop < 0.15);
             assert!(p.default_probs.duplicate < 0.1);
         }
+    }
+
+    #[test]
+    fn crash_plans_always_arm_one_valid_window() {
+        let s = crash_plan(8, 100..5_000);
+        let (mut restarts, mut failovers) = (0, 0);
+        for seed in 0..100 {
+            let p = gen(&s, seed);
+            assert!(p.has_crashes());
+            assert!(!p.is_trivial(), "a crash plan is never trivial");
+            assert_eq!(p.crashes.len(), 1);
+            let c = &p.crashes[0];
+            assert!(c.node < 8);
+            match c.up {
+                Some(up) => {
+                    assert!(up > c.down);
+                    restarts += 1;
+                }
+                None => failovers += 1,
+            }
+        }
+        assert!(restarts > 20 && failovers > 20, "both kinds must occur");
     }
 
     #[test]

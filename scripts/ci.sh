@@ -20,6 +20,9 @@ for ex in examples/*.rs; do
     cargo run --release --offline --example "$name" >/dev/null
 done
 
+echo "== chaos smoke (mid-run node crash per app vs fault-free golden) =="
+cargo run --release --offline --example chaos_smoke >/dev/null
+
 echo "== format =="
 cargo fmt --check
 
