@@ -12,6 +12,7 @@ use crate::field::Field;
 use crate::monomial::Monomial;
 use crate::poly::{GenPoly, Ring};
 use crate::spoly::{normal_form, s_polynomial, Work};
+use earth_sim::MinEntry;
 use std::collections::BinaryHeap;
 
 /// Pair-selection heuristic.
@@ -28,36 +29,10 @@ pub enum SelectionStrategy {
     Fifo,
 }
 
-/// A critical pair with its priority key.
-#[derive(Clone, Debug)]
-struct Pair {
-    i: usize,
-    j: usize,
-    /// Smaller key = better pair.
-    key: (u64, u64),
-    seq: u64,
-}
-
-impl PartialEq for Pair {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key && self.seq == other.seq
-    }
-}
-impl Eq for Pair {}
-impl PartialOrd for Pair {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Pair {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; invert so the smallest key pops first.
-        other
-            .key
-            .cmp(&self.key)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+/// A critical pair `(i, j)` queued under its priority key (smaller key =
+/// better pair). The shared [`MinEntry`] wrapper supplies the min-first
+/// heap order and the seq tie-break.
+type Pair = MinEntry<(u64, u64), (usize, usize)>;
 
 /// Priority key of a critical pair under `strategy` (smaller = better):
 /// the "goodness" that orders both the sequential queue and each node's
@@ -175,12 +150,11 @@ pub fn buchberger<C: Field>(
         for (i, lcm) in selected {
             let sugar = sugars[i].max(sugars[new_idx]).max(lcm.degree() as u64);
             *seq += 1;
-            queue.push(Pair {
-                i,
-                j: new_idx,
-                key: pair_key(strategy, &lcm, sugar, *seq),
-                seq: *seq,
-            });
+            queue.push(Pair::new(
+                pair_key(strategy, &lcm, sugar, *seq),
+                *seq,
+                (i, new_idx),
+            ));
         }
     };
 
@@ -190,7 +164,8 @@ pub fn buchberger<C: Field>(
 
     while let Some(pair) = queue.pop() {
         let mut w = Work::default();
-        let s = s_polynomial(ring, &basis[pair.i], &basis[pair.j], &mut w);
+        let (pi, pj) = pair.item;
+        let s = s_polynomial(ring, &basis[pi], &basis[pj], &mut w);
         let nf = normal_form(ring, &s, &basis, &mut w);
         stats.pairs_processed += 1;
         stats.step_works.push(w);
@@ -293,6 +268,41 @@ mod tests {
         assert!(leads.contains(&Monomial::from_exps(&[2, 0])));
         assert!(leads.contains(&Monomial::from_exps(&[1, 1])));
         assert!(leads.contains(&Monomial::from_exps(&[0, 2])));
+    }
+
+    /// Regression for the `MinEntry` migration: pair selection must pop
+    /// in exactly the order the old hand-rolled inverted `Ord` produced —
+    /// ascending `(key, seq)`, lexicographic — under every strategy.
+    #[test]
+    fn pair_selection_order_is_ascending_key_then_seq() {
+        let mut rng = earth_sim::Rng::new(0x9e37_79b9);
+        for strategy in [
+            SelectionStrategy::Normal,
+            SelectionStrategy::Sugar,
+            SelectionStrategy::Fifo,
+        ] {
+            let mut queue: BinaryHeap<Pair> = BinaryHeap::new();
+            for seq in 1..=500u64 {
+                let lcm = Monomial::from_exps(&[
+                    (rng.gen_range(4) + 1) as u16,
+                    (rng.gen_range(4) + 1) as u16,
+                ]);
+                let sugar = lcm.degree() as u64 + rng.gen_range(3);
+                let key = pair_key(strategy, &lcm, sugar, seq);
+                queue.push(Pair::new(key, seq, (seq as usize, seq as usize + 1)));
+            }
+            let mut prev: Option<((u64, u64), u64)> = None;
+            while let Some(p) = queue.pop() {
+                if let Some(prev) = prev {
+                    assert!(
+                        prev <= (p.key, p.seq),
+                        "{strategy:?}: popped {:?} after {prev:?}",
+                        (p.key, p.seq)
+                    );
+                }
+                prev = Some((p.key, p.seq));
+            }
+        }
     }
 
     #[test]

@@ -325,6 +325,18 @@ pub fn run_eigen_crashed(
     run_eigen_faulted(matrix, tol, nodes, seed, mode, &plan)
 }
 
+/// Lowest-level entry: run on a caller-supplied machine configuration
+/// (used by the queue-equivalence differential tests and ablations).
+pub fn run_eigen_on(
+    matrix: &SymTridiagonal,
+    tol: f64,
+    cfg: MachineConfig,
+    seed: u64,
+    mode: FetchMode,
+) -> EigenRun {
+    run_eigen_inner(matrix, tol, cfg, seed, mode, false)
+}
+
 fn run_eigen_inner(
     matrix: &SymTridiagonal,
     tol: f64,

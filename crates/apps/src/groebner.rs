@@ -32,42 +32,18 @@ use earth_algebra::monomial::Monomial;
 use earth_algebra::poly::{Poly, Ring};
 use earth_algebra::spoly::{normal_form, s_polynomial, Work};
 use earth_algebra::wire;
-use earth_machine::{MachineConfig, NodeId};
+use earth_machine::{MachineConfig, NodeId, QueueKind};
 use earth_rt::{ArgsWriter, Ctx, FuncId, Runtime, SlotId, SlotRef, ThreadId, ThreadedFn};
-use earth_sim::{Rng, VirtualDuration, VirtualTime};
+use earth_sim::{MinEntry, Rng, VirtualDuration, VirtualTime};
 use std::collections::{BinaryHeap, VecDeque};
 
 // ---------------------------------------------------------------------------
 // Local pair queue
 
-#[derive(Clone, Debug)]
-struct LocalPair {
-    key: (u64, u64),
-    seq: u64,
-    i: u32,
-    j: u32,
-}
-
-impl PartialEq for LocalPair {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key && self.seq == other.seq
-    }
-}
-impl Eq for LocalPair {}
-impl PartialOrd for LocalPair {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for LocalPair {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap behaviour on a max-heap: invert.
-        other
-            .key
-            .cmp(&self.key)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+/// A worker's local critical pair: strategy key, tiebreak sequence, and
+/// the `(i, j)` basis indices as the carried item. `MinEntry` inverts the
+/// ordering so `BinaryHeap` pops the *smallest* key first.
+type LocalPair = MinEntry<(u64, u64), (u32, u32)>;
 
 // ---------------------------------------------------------------------------
 // Node state
@@ -188,12 +164,7 @@ impl GrobNode {
             .max(lcm.degree() as u64);
         self.pair_seq += 1;
         let key = pair_key(self.strategy, &lcm, sugar, self.pair_seq);
-        self.queue.push(LocalPair {
-            key,
-            seq: self.pair_seq,
-            i,
-            j,
-        });
+        self.queue.push(LocalPair::new(key, self.pair_seq, (i, j)));
     }
 
     /// Re-examine deferred pairs after a cache update.
@@ -384,8 +355,9 @@ impl Worker {
         let (nf, w) = {
             let st: &GrobNode = ctx.user();
             let basis = st.known_basis();
-            let f = st.cache[pair.i as usize].as_ref().expect("cached");
-            let g = st.cache[pair.j as usize].as_ref().expect("cached");
+            let (pi, pj) = pair.item;
+            let f = st.cache[pi as usize].as_ref().expect("cached");
+            let g = st.cache[pj as usize].as_ref().expect("cached");
             let mut w = Work::default();
             let s = s_polynomial(&st.ring, f, g, &mut w);
             let nf = normal_form(&st.ring, &s, &basis, &mut w);
@@ -570,29 +542,15 @@ impl ThreadedFn for AddPoly {
                     if dst == me {
                         st.push_pair(i as u32, self.id);
                     } else {
-                        grants.push((
-                            dst,
-                            LocalPair {
-                                key: (0, 0),
-                                seq: 0,
-                                i: i as u32,
-                                j: self.id,
-                            },
-                        ));
+                        // Key and seq are irrelevant here: the grant is a
+                        // plain (i, j) carrier, re-keyed by the receiver.
+                        grants.push((dst, LocalPair::new((0, 0), 0, (i as u32, self.id))));
                     }
                 }
                 // More pending inserts? Re-request the lock.
                 if !st.pending_inserts.is_empty() && !st.lock_requested {
                     st.lock_requested = true;
-                    grants.push((
-                        u16::MAX,
-                        LocalPair {
-                            key: (0, 0),
-                            seq: 0,
-                            i: 0,
-                            j: 0,
-                        },
-                    )); // sentinel handled below
+                    grants.push((u16::MAX, LocalPair::new((0, 0), 0, (0, 0)))); // sentinel handled below
                 }
             }
             (grants, prune_work)
@@ -605,8 +563,9 @@ impl ThreadedFn for AddPoly {
                 continue;
             }
             ctx.compute(insert_cost(0));
+            let (pi, pj) = pair.item;
             let mut a = ArgsWriter::new();
-            a.u32(pair.i).u32(pair.j);
+            a.u32(pi).u32(pj);
             ctx.invoke(NodeId(dst), FuncId(fns.pair_grant), a.finish());
         }
         if need_lock {
@@ -654,8 +613,9 @@ impl ThreadedFn for PairRequest {
         };
         match action {
             Some(pair) => {
+                let (pi, pj) = pair.item;
                 let mut a = ArgsWriter::new();
-                a.u32(pair.i).u32(pair.j);
+                a.u32(pi).u32(pj);
                 ctx.invoke(NodeId(self.origin), FuncId(fns.pair_grant), a.finish());
             }
             None => {
@@ -1042,6 +1002,7 @@ pub fn run_groebner_diag(
         true,
         false,
         None,
+        None,
     );
     let diag = run.diag.clone().unwrap_or_default();
     (run, diag)
@@ -1067,6 +1028,7 @@ pub fn run_groebner(
         false,
         false,
         None,
+        None,
     )
 }
 
@@ -1089,6 +1051,7 @@ pub fn run_groebner_profiled(
         comm_sync_us,
         false,
         true,
+        None,
         None,
     )
 }
@@ -1115,6 +1078,7 @@ pub fn run_groebner_faulted(
         false,
         false,
         Some(plan),
+        None,
     )
 }
 
@@ -1142,6 +1106,33 @@ pub fn run_groebner_crashed(
     run_groebner_faulted(ring, input, nodes, seed, strategy, &plan)
 }
 
+/// Like [`run_groebner_faulted`] (pass `plan: None` for a fault-free
+/// run) but pinning the scheduler's event-queue implementation — the
+/// queue-equivalence differential tests run the same workload under both
+/// [`QueueKind`]s and require byte-identical reports.
+pub fn run_groebner_queued(
+    ring: &Ring,
+    input: &[Poly],
+    nodes: u16,
+    seed: u64,
+    strategy: SelectionStrategy,
+    plan: Option<&earth_machine::FaultPlan>,
+    queue: QueueKind,
+) -> GroebnerRun {
+    run_groebner_inner(
+        ring,
+        input,
+        nodes,
+        seed,
+        strategy,
+        None,
+        false,
+        false,
+        plan,
+        Some(queue),
+    )
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_groebner_inner(
     ring: &Ring,
@@ -1153,6 +1144,7 @@ fn run_groebner_inner(
     want_diag: bool,
     profile: bool,
     faults: Option<&earth_machine::FaultPlan>,
+    queue: Option<QueueKind>,
 ) -> GroebnerRun {
     assert!(nodes >= 1);
     let workers: u16 = if nodes == 1 { 1 } else { nodes - 1 };
@@ -1164,6 +1156,9 @@ fn run_groebner_inner(
     }
     if let Some(plan) = faults {
         cfg = cfg.with_faults(plan.clone());
+    }
+    if let Some(q) = queue {
+        cfg = cfg.with_queue(q);
     }
     let mut rt = Runtime::new(cfg, seed);
     if profile {

@@ -22,6 +22,13 @@
 //! workload with one node crash-stopped at a grid of crash times ×
 //! checkpoint intervals, with the checkpoint/recovery plane keeping
 //! every cell's results bit-identical to the fault-free baseline.
+//!
+//! `bench` (not part of `all`) runs the performance-baseline sweeps over
+//! every application variant and prints the `BENCH_<date>.json` document
+//! (regenerate the committed baseline with `repro --json bench`).
+//! `--smoke` shrinks the workloads to CI size; `--check-schema FILE`
+//! additionally validates that `FILE`'s schema matches the emitted
+//! document, exiting nonzero on drift.
 
 use earth_bench::*;
 
@@ -134,5 +141,27 @@ fn main() {
     if what.contains(&"crashes") {
         let t = crashes_table();
         println!("{}", if json { t.to_json() } else { t.render() });
+    }
+    if what.contains(&"bench") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let doc = sweeps_to_json(&run_sweeps(smoke));
+        if let Some(pos) = args.iter().position(|a| a == "--check-schema") {
+            let path = args
+                .get(pos + 1)
+                .expect("--check-schema needs a file argument");
+            let committed =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+            let want = schema_signature(committed.trim())
+                .unwrap_or_else(|e| panic!("{path} is not valid baseline JSON: {e}"));
+            let got = schema_signature(&doc).expect("emitter produced invalid JSON");
+            if want != got {
+                eprintln!("bench schema drift: {path} does not match the emitter");
+                eprintln!("  committed: {want}");
+                eprintln!("  emitted:   {got}");
+                std::process::exit(1);
+            }
+            eprintln!("bench schema OK against {path}");
+        }
+        println!("{doc}");
     }
 }

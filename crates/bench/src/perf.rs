@@ -1,0 +1,303 @@
+//! The committed performance baseline: `repro bench`.
+//!
+//! Runs every repro application — including the faulted, crashed, and
+//! profiled variants — as a fixed-size sweep on the host, measuring real
+//! wall time and the simulator's own event counters, and emits one
+//! machine-readable JSON document (`BENCH_<date>.json` when committed).
+//!
+//! Two rules keep the baseline useful:
+//!
+//! * **Fixed moderate sizes.** Sweep inputs never scale with
+//!   [`Scale`](crate::workloads::Scale); regenerating the baseline takes
+//!   seconds, and a number in an old `BENCH_*.json` is always comparable
+//!   to the same sweep in a new one (same machine assumed — values are
+//!   machine-dependent and never golden-tested; only the schema is).
+//! * **Schema-stable output.** [`schema_signature`] reduces a document
+//!   to its structural shape (keys, string values, and the *types* of
+//!   everything else). CI checks the committed baseline's signature
+//!   against a fresh smoke run, so the file on disk can never drift from
+//!   what the emitter produces.
+
+use earth_algebra::buchberger::SelectionStrategy;
+use earth_algebra::inputs::katsura;
+use earth_apps::eigen::{
+    run_eigen, run_eigen_crashed, run_eigen_faulted, run_eigen_profiled, FetchMode,
+};
+use earth_apps::groebner::{
+    run_groebner, run_groebner_crashed, run_groebner_faulted, run_groebner_profiled,
+};
+use earth_apps::neural::{
+    run_neural, run_neural_crashed, run_neural_faulted, run_neural_profiled, CommsShape, PassMode,
+};
+use earth_linalg::SymTridiagonal;
+use earth_rt::RunReport;
+use earth_sim::{VirtualDuration, VirtualTime};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured sweep: a named workload with its wall-clock cost and the
+/// simulator-side load counters.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Sweep name (stable; part of the baseline schema).
+    pub name: &'static str,
+    /// Simulated machine size.
+    pub nodes: u16,
+    /// Discrete events the run processed.
+    pub events: u64,
+    /// Best-of-reps host wall time for one run, in milliseconds.
+    pub wall_ms: f64,
+    /// Simulation throughput: events per host second.
+    pub events_per_sec: f64,
+    /// High-water mark of the scheduler's pending-event queue.
+    pub peak_queue_depth: u64,
+}
+
+/// Repetitions per sweep at full size; the best (minimum) wall time is
+/// kept, the usual convention for wall-clock baselines.
+const FULL_REPS: usize = 3;
+
+/// The acceptance fault plan used across the repo: 1% drop, 0.5% dup.
+fn lossy_plan() -> earth_machine::FaultPlan {
+    earth_machine::FaultPlan::new()
+        .with_drop(0.01)
+        .with_duplicate(0.005)
+}
+
+fn measure(
+    name: &'static str,
+    nodes: u16,
+    reps: usize,
+    mut run: impl FnMut() -> RunReport,
+) -> SweepResult {
+    let mut best_ns = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let r = run();
+        let ns = t.elapsed().as_nanos() as f64;
+        if ns < best_ns {
+            best_ns = ns;
+        }
+        report = Some(r);
+    }
+    let report = report.expect("at least one rep");
+    SweepResult {
+        name,
+        nodes,
+        events: report.events,
+        wall_ms: best_ns / 1e6,
+        events_per_sec: report.events as f64 / (best_ns / 1e9),
+        peak_queue_depth: report.peak_queue_depth,
+    }
+}
+
+/// Run the full baseline sweep set. `smoke` shrinks every workload to CI
+/// size (same sweep names, same schema, one rep) so tests and the CI
+/// schema check stay cheap.
+pub fn run_sweeps(smoke: bool) -> Vec<SweepResult> {
+    let reps = if smoke { 1 } else { FULL_REPS };
+    let mut out = Vec::new();
+
+    // -- Eigenvalue bisection -------------------------------------------
+    let (m, tol, en) = if smoke {
+        (SymTridiagonal::random_clustered(30, 2, 3), 1e-6, 8)
+    } else {
+        (SymTridiagonal::random_clustered(240, 6, 1997), 1e-6, 20)
+    };
+    out.push(measure("eigen", en, reps, || {
+        run_eigen(&m, tol, en, 42, FetchMode::Block).report
+    }));
+    out.push(measure("eigen_faulted", en, reps, || {
+        run_eigen_faulted(&m, tol, en, 42, FetchMode::Block, &lossy_plan()).report
+    }));
+    let clean = run_eigen(&m, tol, en, 42, FetchMode::Block);
+    let down = VirtualTime::ZERO + clean.report.elapsed / 2;
+    let up = down + VirtualDuration::from_us(3_000);
+    out.push(measure("eigen_crashed", en, reps, || {
+        run_eigen_crashed(&m, tol, en, 42, FetchMode::Block, 3, down, Some(up)).report
+    }));
+    out.push(measure("eigen_profiled", en, reps, || {
+        run_eigen_profiled(&m, tol, en, 42, FetchMode::Block).report
+    }));
+
+    // -- Groebner basis completion --------------------------------------
+    let ((ring, input), gn) = if smoke {
+        (katsura(3), 8)
+    } else {
+        (katsura(4), 20)
+    };
+    out.push(measure("groebner", gn, reps, || {
+        run_groebner(&ring, &input, gn, 1, SelectionStrategy::Sugar, None).report
+    }));
+    out.push(measure("groebner_faulted", gn, reps, || {
+        run_groebner_faulted(
+            &ring,
+            &input,
+            gn,
+            1,
+            SelectionStrategy::Sugar,
+            &lossy_plan(),
+        )
+        .report
+    }));
+    let gclean = run_groebner(&ring, &input, gn, 1, SelectionStrategy::Sugar, None);
+    let gdown = VirtualTime::ZERO + gclean.report.elapsed / 2;
+    let gup = gdown + VirtualDuration::from_us(3_000);
+    out.push(measure("groebner_crashed", gn, reps, || {
+        run_groebner_crashed(
+            &ring,
+            &input,
+            gn,
+            1,
+            SelectionStrategy::Sugar,
+            2,
+            gdown,
+            Some(gup),
+        )
+        .report
+    }));
+    out.push(measure("groebner_profiled", gn, reps, || {
+        run_groebner_profiled(&ring, &input, gn, 1, SelectionStrategy::Sugar, None).report
+    }));
+
+    // -- Neural network training ----------------------------------------
+    let (units, samples, nn) = if smoke { (24, 1, 8) } else { (200, 3, 20) };
+    let mode = PassMode::ForwardBackward;
+    let shape = CommsShape::Tree;
+    out.push(measure("neural", nn, reps, || {
+        run_neural(units, nn, samples, 21, mode, shape).report
+    }));
+    out.push(measure("neural_faulted", nn, reps, || {
+        run_neural_faulted(units, nn, samples, 21, mode, shape, &lossy_plan()).report
+    }));
+    let nclean = run_neural(units, nn, samples, 21, mode, shape);
+    let ndown = VirtualTime::ZERO + nclean.report.elapsed / 2;
+    let nup = ndown + VirtualDuration::from_us(2_000);
+    out.push(measure("neural_crashed", nn, reps, || {
+        run_neural_crashed(units, nn, samples, 21, mode, shape, 5, ndown, Some(nup)).report
+    }));
+    out.push(measure("neural_profiled", nn, reps, || {
+        run_neural_profiled(units, nn, samples, 21, mode, shape).report
+    }));
+
+    out
+}
+
+/// Serialize sweeps as the baseline document (one line, schema v1).
+pub fn sweeps_to_json(sweeps: &[SweepResult]) -> String {
+    let mut s = String::from("{\"bench_schema\":1,\"sweeps\":[");
+    for (i, sw) in sweeps.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"name\":\"{}\",\"nodes\":{},\"events\":{},\"wall_ms\":{:.3},\"events_per_sec\":{:.0},\"peak_queue_depth\":{}}}",
+            sw.name, sw.nodes, sw.events, sw.wall_ms, sw.events_per_sec, sw.peak_queue_depth
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Reduce a JSON document to its structural signature: object/array
+/// shape and keys are kept verbatim, string values are kept (they are
+/// part of the schema — sweep names must not drift), and every number,
+/// boolean, or null is replaced by a type tag (`#`, `?`, `~`). Two
+/// documents with equal signatures have the same schema even when every
+/// measured value differs.
+pub fn schema_signature(json: &str) -> Result<String, String> {
+    let mut sig = String::with_capacity(json.len());
+    let bytes = json.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'}' | b'[' | b']' | b':' | b',' => {
+                sig.push(bytes[i] as char);
+                i += 1;
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    // The emitter never writes escapes, but skip them
+                    // defensively so a hand-edited file still parses.
+                    i += if bytes[i] == b'\\' { 2 } else { 1 };
+                }
+                if i >= bytes.len() {
+                    return Err("unterminated string".into());
+                }
+                i += 1;
+                sig.push_str(&json[start..i]);
+            }
+            b'0'..=b'9' | b'-' => {
+                while i < bytes.len()
+                    && matches!(bytes[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    i += 1;
+                }
+                sig.push('#');
+            }
+            b't' | b'f' => {
+                let lit: &[u8] = if bytes[i] == b't' { b"true" } else { b"false" };
+                if !bytes[i..].starts_with(lit) {
+                    return Err(format!("bad literal at byte {i}"));
+                }
+                i += lit.len();
+                sig.push('?');
+            }
+            b'n' => {
+                if !bytes[i..].starts_with(b"null") {
+                    return Err(format!("bad literal at byte {i}"));
+                }
+                i += 4;
+                sig.push('~');
+            }
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            other => return Err(format!("unexpected byte {other:#x} at {i}")),
+        }
+    }
+    Ok(sig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_ignores_values_but_keeps_shape_and_names() {
+        let a = r#"{"bench_schema":1,"sweeps":[{"name":"eigen","wall_ms":12.5}]}"#;
+        let b = r#"{"bench_schema":1,"sweeps":[{"name":"eigen","wall_ms":9000.1}]}"#;
+        assert_eq!(schema_signature(a).unwrap(), schema_signature(b).unwrap());
+        // A renamed sweep is a schema change...
+        let c = r#"{"bench_schema":1,"sweeps":[{"name":"laplace","wall_ms":12.5}]}"#;
+        assert_ne!(schema_signature(a).unwrap(), schema_signature(c).unwrap());
+        // ...and so are a missing key and a retyped value.
+        let d = r#"{"bench_schema":1,"sweeps":[{"name":"eigen"}]}"#;
+        assert_ne!(schema_signature(a).unwrap(), schema_signature(d).unwrap());
+        let e = r#"{"bench_schema":1,"sweeps":[{"name":"eigen","wall_ms":null}]}"#;
+        assert_ne!(schema_signature(a).unwrap(), schema_signature(e).unwrap());
+    }
+
+    #[test]
+    fn signature_rejects_malformed_documents() {
+        assert!(schema_signature("{\"open").is_err());
+        assert!(schema_signature("{\"k\":nul}").is_err());
+        assert!(schema_signature("{\"k\":@}").is_err());
+    }
+
+    /// The committed baseline must always have the schema the current
+    /// emitter produces — values are machine-dependent and free to
+    /// differ, but a key, sweep, or type drift fails here.
+    #[test]
+    fn committed_baseline_schema_matches_emitter() {
+        let committed = include_str!("../../../BENCH_2026-08-07.json");
+        let fresh = sweeps_to_json(&run_sweeps(true));
+        assert_eq!(
+            schema_signature(committed.trim()).unwrap(),
+            schema_signature(&fresh).unwrap(),
+            "BENCH_2026-08-07.json drifted from the emitter; regenerate with `repro --json bench`"
+        );
+    }
+}

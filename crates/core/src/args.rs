@@ -7,6 +7,7 @@
 //! descriptor really occupies 28 bytes on the simulated wire.
 
 use crate::addr::{FrameId, GlobalAddr, SlotId, SlotRef, ThreadId};
+use crate::payload::Payload;
 use earth_machine::NodeId;
 
 /// Builds an argument byte string.
@@ -110,9 +111,12 @@ impl ArgsWriter {
         self.buf.is_empty()
     }
 
-    /// Finish and take the encoded bytes.
-    pub fn finish(self) -> Box<[u8]> {
-        self.buf.into_boxed_slice()
+    /// Finish and take the encoded bytes as a shareable [`Payload`]
+    /// (one copy, exactly like the old `into_boxed_slice`; empty
+    /// argument lists hit the interned empty payload and don't
+    /// allocate).
+    pub fn finish(self) -> Payload {
+        Payload::from(self.buf)
     }
 }
 

@@ -11,6 +11,7 @@
 use crate::addr::{FrameId, GlobalAddr, SlotId, SlotRef, ThreadId};
 use crate::frame::{FrameStore, SyncSlot};
 use crate::msg::{FuncId, Msg, MSG_HEADER};
+use crate::payload::Payload;
 use crate::runtime::Runtime;
 use earth_machine::{NodeId, OpClass};
 use earth_sim::{Rng, VirtualDuration, VirtualTime};
@@ -241,7 +242,7 @@ impl<'a> Ctx<'a> {
                 dst.node,
                 Msg::Put {
                     dst_off: dst.offset,
-                    data: data.to_vec().into_boxed_slice(),
+                    data: Payload::from(data),
                     done,
                 },
                 cp,
@@ -271,7 +272,8 @@ impl<'a> Ctx<'a> {
     // ---- invocation ------------------------------------------------------------
 
     /// `INVOKE`: instantiate `func` on an explicit `node`.
-    pub fn invoke(&mut self, node: NodeId, func: FuncId, args: Box<[u8]>) {
+    pub fn invoke(&mut self, node: NodeId, func: FuncId, args: impl Into<Payload>) {
+        let args = args.into();
         let costs = self.rt.config().earth;
         let len = MSG_HEADER + args.len() as u32;
         self.elapsed += costs.op_send + self.rt.comm_sender_overhead(OpClass::Async, len);
@@ -292,7 +294,8 @@ impl<'a> Ctx<'a> {
 
     /// `TOKEN`: enqueue `func` as a stealable token, subject to the
     /// dynamic load balancer.
-    pub fn token(&mut self, func: FuncId, args: Box<[u8]>) {
+    pub fn token(&mut self, func: FuncId, args: impl Into<Payload>) {
+        let args = args.into();
         let costs = self.rt.config().earth;
         self.elapsed += costs.token_op;
         let cp = self.cp_now();

@@ -108,13 +108,22 @@ pub(crate) struct FrameEntry {
     pub(crate) gen: u32,
 }
 
+/// Cap on banked slot tables per node; enough to cover every realistic
+/// frame fan-out while bounding idle memory.
+const SPARE_SLOT_TABLES: usize = 64;
+
 /// Per-node frame store: a slab with generation-checked handles.
+/// Freed frames bank their slot tables in `spare_slots`, so steady-state
+/// frame churn (the common invoke/run/end cycle) allocates no slot
+/// storage at all.
 #[derive(Default)]
 pub(crate) struct FrameStore {
     entries: Vec<Option<FrameEntry>>,
     free: Vec<u32>,
     pub(crate) live: usize,
     next_gen: u32,
+    /// Emptied slot tables recycled from removed frames.
+    spare_slots: Vec<Vec<SyncSlot>>,
 }
 
 impl FrameStore {
@@ -124,7 +133,7 @@ impl FrameStore {
         self.live += 1;
         let entry = FrameEntry {
             func: Some(func),
-            slots: Vec::new(),
+            slots: self.spare_slots.pop().unwrap_or_default(),
             gen,
         };
         if let Some(idx) = self.free.pop() {
@@ -149,7 +158,13 @@ impl FrameStore {
     pub(crate) fn remove(&mut self, id: FrameId) {
         if let Some(slot) = self.entries.get_mut(id.index as usize) {
             if slot.as_ref().is_some_and(|e| e.gen == id.gen) {
-                *slot = None;
+                if let Some(entry) = slot.take() {
+                    if self.spare_slots.len() < SPARE_SLOT_TABLES {
+                        let mut slots = entry.slots;
+                        slots.clear();
+                        self.spare_slots.push(slots);
+                    }
+                }
                 self.free.push(id.index);
                 self.live -= 1;
             }
@@ -222,6 +237,23 @@ mod tests {
         assert!(fs.get_mut(a).is_none());
         assert!(fs.get_mut(b).is_some());
         assert_eq!(fs.live, 1);
+    }
+
+    #[test]
+    fn removed_frames_bank_their_slot_tables() {
+        let mut fs = FrameStore::default();
+        let a = fs.insert(Box::new(Nop));
+        FrameStore::ensure_slot(fs.get_mut(a).unwrap(), SlotId(3));
+        let cap = fs.get_mut(a).unwrap().slots.capacity();
+        assert!(cap >= 4);
+        fs.remove(a);
+        let b = fs.insert(Box::new(Nop));
+        let e = fs.get_mut(b).unwrap();
+        assert!(e.slots.is_empty(), "recycled table must come back empty");
+        assert!(
+            e.slots.capacity() >= cap,
+            "slot-table capacity must be recycled, not reallocated"
+        );
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod frame;
 pub mod memory;
 pub mod msg;
 pub mod node;
+pub mod payload;
 pub mod profile;
 pub(crate) mod recover;
 pub(crate) mod reli;
@@ -86,6 +87,7 @@ pub use args::{ArgsReader, ArgsWriter};
 pub use ctx::Ctx;
 pub use frame::ThreadedFn;
 pub use msg::FuncId;
+pub use payload::Payload;
 pub use profile::{ClassCost, NodeProfile, RunProfile};
 pub use report::{NodeStats, RunReport};
 pub use runtime::Runtime;

@@ -6,6 +6,7 @@
 //! which is the property the whole paper is about.
 
 use crate::addr::SlotRef;
+use crate::payload::Payload;
 use earth_machine::{NodeId, OpClass};
 
 /// Registered threaded-function identifier.
@@ -33,7 +34,7 @@ pub(crate) enum Msg {
     /// Data coming back for a `GetReq`.
     GetReply {
         dst_off: u32,
-        data: Box<[u8]>,
+        data: Payload,
         done: SlotRef,
     },
     /// Split-phase remote write (`DATA_SYNC` / block-move push): store
@@ -41,16 +42,16 @@ pub(crate) enum Msg {
     /// node).
     Put {
         dst_off: u32,
-        data: Box<[u8]>,
+        data: Payload,
         done: Option<SlotRef>,
     },
     /// Pure synchronization signal (`RSYNC` / remote `SYNC`): decrement
     /// the slot.
     SyncSig { slot: SlotRef },
     /// Remote invocation of a threaded function on the receiving node.
-    Invoke { func: FuncId, args: Box<[u8]> },
+    Invoke { func: FuncId, args: Payload },
     /// A load-balancer token migrating to the receiving node.
-    Token { func: FuncId, args: Box<[u8]> },
+    Token { func: FuncId, args: Payload },
     /// Receiver-initiated work stealing: `thief` asks for a token.
     StealReq { thief: NodeId },
     /// The victim had nothing to give.
@@ -118,7 +119,7 @@ mod tests {
     fn wire_sizes_track_payload() {
         let put = Msg::Put {
             dst_off: 0,
-            data: vec![0u8; 28].into_boxed_slice(),
+            data: Payload::from(vec![0u8; 28]),
             done: Some(slot()),
         };
         assert_eq!(put.wire_size(), MSG_HEADER + 28);

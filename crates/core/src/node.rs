@@ -3,6 +3,7 @@
 use crate::frame::FrameStore;
 use crate::memory::Memory;
 use crate::msg::{FuncId, Msg};
+use crate::payload::Payload;
 use crate::report::NodeStats;
 use crate::{FrameId, ThreadId};
 use earth_sim::{Rng, VirtualDuration, VirtualTime};
@@ -14,7 +15,7 @@ use std::collections::VecDeque;
 /// token's creation (critical-path accounting; never affects scheduling).
 pub(crate) struct Token {
     pub(crate) func: FuncId,
-    pub(crate) args: Box<[u8]>,
+    pub(crate) args: Payload,
     pub(crate) cp: VirtualDuration,
 }
 

@@ -1,0 +1,146 @@
+//! Shared, immutable operation payloads.
+//!
+//! Every split-phase operation carries a byte payload (the serialized
+//! arguments of an `INVOKE`/`TOKEN`, the data of a remote store). The
+//! runtime used to pass these around as `Box<[u8]>`, which forced a
+//! fresh heap copy every time a message was retained and resent — the
+//! reliability layer clones each in-flight message for its
+//! retransmission buffer, the fault plane clones on duplicate delivery,
+//! and crash recovery re-homes whole token queues.
+//!
+//! [`Payload`] wraps the bytes in an `Rc<[u8]>`: construction still
+//! copies once (exactly what `Vec::into_boxed_slice` did), but every
+//! subsequent clone is a reference-count bump. The empty payload — by
+//! far the most common repeated payload, produced by every no-argument
+//! invoke — is interned per thread, so empty-args operations allocate
+//! nothing at all.
+//!
+//! `Rc` (not `Arc`) is deliberate: a `Runtime` is single-threaded by
+//! construction (it already holds `Box<dyn ThreadedFn>` and per-node
+//! `Box<dyn Any>` state, neither `Send`), and host-parallel sweeps run
+//! one `Runtime` per thread.
+
+use std::fmt;
+use std::ops::Deref;
+use std::rc::Rc;
+
+/// An immutable byte payload, cheap to clone.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Payload(Rc<[u8]>);
+
+thread_local! {
+    /// The interned empty payload; cloned for every empty construction.
+    static EMPTY: Payload = Payload(Rc::from(&[][..]));
+}
+
+impl Payload {
+    /// The interned empty payload (no allocation).
+    pub fn empty() -> Payload {
+        EMPTY.with(Payload::clone)
+    }
+
+    /// Number of payload bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the payload carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        if v.is_empty() {
+            Payload::empty()
+        } else {
+            Payload(Rc::from(v))
+        }
+    }
+}
+
+impl From<Box<[u8]>> for Payload {
+    fn from(b: Box<[u8]>) -> Payload {
+        if b.is_empty() {
+            Payload::empty()
+        } else {
+            Payload(Rc::from(b))
+        }
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(b: &[u8]) -> Payload {
+        if b.is_empty() {
+            Payload::empty()
+        } else {
+            Payload(Rc::from(b))
+        }
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Payload {
+    fn from(b: [u8; N]) -> Payload {
+        Payload::from(&b[..])
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Payload {
+        Payload::empty()
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({} bytes)", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_interned() {
+        let a = Payload::empty();
+        let b = Payload::from(Vec::new());
+        let c = Payload::from(&[][..]);
+        assert!(Rc::ptr_eq(&a.0, &b.0), "empty Vec must hit the intern");
+        assert!(Rc::ptr_eq(&a.0, &c.0), "empty slice must hit the intern");
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let a = Payload::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert!(Rc::ptr_eq(&a.0, &b.0));
+        assert_eq!(&*b, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn deref_and_asref_expose_bytes() {
+        let p = Payload::from(vec![9u8, 8]);
+        let s: &[u8] = &p;
+        assert_eq!(s, &[9, 8]);
+        assert_eq!(p.as_ref(), &[9u8, 8][..]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+}

@@ -279,6 +279,7 @@ mod tests {
             net_crash_dropped: 0,
             leftover_tokens: 0,
             live_frames: 0,
+            peak_queue_depth: 0,
         };
         (profile, report)
     }

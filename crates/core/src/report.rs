@@ -81,6 +81,11 @@ pub struct RunReport {
     pub leftover_tokens: u64,
     /// Frames still live at quiescence (0 after a clean run).
     pub live_frames: u64,
+    /// Largest number of events pending in the scheduler's queue at any
+    /// instant — the load the event core had to sustain. A pure
+    /// observation: identical across queue implementations, and absent
+    /// from `Display` so report goldens are unaffected.
+    pub peak_queue_depth: u64,
 }
 
 impl RunReport {
@@ -238,6 +243,7 @@ mod tests {
             net_crash_dropped: 0,
             leftover_tokens: 0,
             live_frames: 0,
+            peak_queue_depth: 7,
         }
     }
 

@@ -15,13 +15,14 @@ use crate::ctx::Ctx;
 use crate::frame::{FrameStore, ThreadedFn};
 use crate::msg::{FuncId, Msg};
 use crate::node::{Node, Token};
+use crate::payload::Payload;
 use crate::profile::{ProfileState, RunProfile};
 use crate::recover::{Health, RecoverState};
 use crate::reli::{Envelope, Pending, ReliLayer, ACK_WIRE, ENV_BYTES};
 use crate::report::RunReport;
 use crate::trace::{Activity, Span, Trace};
 use earth_machine::{MachineConfig, NetFate, Network, NodeId, OpClass};
-use earth_sim::{EventQueue, Rng, VirtualDuration, VirtualTime};
+use earth_sim::{Rng, SimQueue, VirtualDuration, VirtualTime};
 
 /// Default per-node memory: MANNA's 32 MB.
 pub const NODE_MEMORY: usize = 32 << 20;
@@ -66,7 +67,7 @@ type Ctor = Box<dyn Fn(&mut ArgsReader<'_>) -> Box<dyn ThreadedFn>>;
 pub struct Runtime {
     pub(crate) nodes: Vec<Node>,
     pub(crate) net: Network,
-    pub(crate) events: EventQueue<Event>,
+    pub(crate) events: SimQueue<Event>,
     funcs: Vec<(String, Ctor)>,
     /// Tokens alive anywhere (queued or in flight); drives steal decisions.
     pub(crate) global_tokens: u64,
@@ -90,6 +91,11 @@ pub struct Runtime {
     /// Longest message/thread dependency chain observed so far. Tracked
     /// unconditionally: it is a pure observation and costs no virtual time.
     max_cp: VirtualDuration,
+    /// Scratch buffer for steal-victim candidates, reused across rounds
+    /// so the hot path stays allocation-free.
+    steal_scratch: Vec<NodeId>,
+    /// Scratch buffer for due retransmission keys (fault plans only).
+    retr_scratch: Vec<(u16, u64)>,
 }
 
 impl Runtime {
@@ -106,7 +112,7 @@ impl Runtime {
         let recover = plan
             .filter(|p| p.has_crashes())
             .map(|p| RecoverState::new(p, net.config().nodes));
-        let mut events = EventQueue::new();
+        let mut events = SimQueue::new(net.config().queue);
         if let Some(rec) = recover.as_ref() {
             // Arm the crash plane: planned crashes (and scheduled
             // restarts) at their instants, plus the first detector and
@@ -138,6 +144,8 @@ impl Runtime {
             trace: None,
             profile: None,
             max_cp: VirtualDuration::ZERO,
+            steal_scratch: Vec::new(),
+            retr_scratch: Vec::new(),
         }
     }
 
@@ -258,7 +266,8 @@ impl Runtime {
     }
 
     /// Inject an invocation at t=0 (the program's `main`).
-    pub fn inject_invoke(&mut self, node: NodeId, func: FuncId, args: Box<[u8]>) {
+    pub fn inject_invoke(&mut self, node: NodeId, func: FuncId, args: impl Into<Payload>) {
+        let args = args.into();
         self.events.push(
             VirtualTime::ZERO,
             Event::Deliver(
@@ -271,12 +280,13 @@ impl Runtime {
     }
 
     /// Inject a token at t=0 on node 0; the load balancer spreads it.
-    pub fn inject_token(&mut self, func: FuncId, args: Box<[u8]>) {
+    pub fn inject_token(&mut self, func: FuncId, args: impl Into<Payload>) {
         self.inject_token_on(NodeId(0), func, args);
     }
 
     /// Inject a token at t=0 on a specific node.
-    pub fn inject_token_on(&mut self, node: NodeId, func: FuncId, args: Box<[u8]>) {
+    pub fn inject_token_on(&mut self, node: NodeId, func: FuncId, args: impl Into<Payload>) {
+        let args = args.into();
         self.global_tokens += 1;
         self.events.push(
             VirtualTime::ZERO,
@@ -323,6 +333,7 @@ impl Runtime {
             net_crash_dropped: net.crash_dropped,
             leftover_tokens: self.global_tokens,
             live_frames: self.nodes.iter().map(|n| n.frames.live as u64).sum(),
+            peak_queue_depth: self.events.peak_len() as u64,
         }
     }
 
@@ -803,12 +814,15 @@ impl Runtime {
         // doubles as the timeout timer. Resend every held message whose
         // deadline has passed, charging one op_send each on the EU.
         if self.reli.is_some() {
-            let due: Vec<(u16, u64)> = self.reli.as_ref().unwrap().unacked[node.index()]
-                .iter()
-                .filter(|(_, p)| p.deadline <= t)
-                .map(|(&key, _)| key)
-                .collect();
-            for (dst, seq) in due {
+            let mut due = std::mem::take(&mut self.retr_scratch);
+            due.clear();
+            due.extend(
+                self.reli.as_ref().unwrap().unacked[node.index()]
+                    .iter()
+                    .filter(|(_, p)| p.deadline <= t)
+                    .map(|(&key, _)| key),
+            );
+            for &(dst, seq) in &due {
                 let (msg, cp, attempts) = {
                     let p = self.reli.as_mut().unwrap().unacked[node.index()]
                         .get_mut(&(dst, seq))
@@ -827,6 +841,7 @@ impl Runtime {
                     Some((seq, attempts)),
                 );
             }
+            self.retr_scratch = due;
         }
         let after_retr = elapsed;
         if after_retr > after_poll {
@@ -917,11 +932,16 @@ impl Runtime {
                 .as_ref()
                 .is_some_and(|r| r.suspected[i] || r.health[i] == Health::Down)
         };
-        let victims: Vec<NodeId> = (0..self.nodes.len())
-            .filter(|&i| i != node.index() && !self.nodes[i].tokens.is_empty() && !avoid(i))
-            .map(|i| NodeId(i as u16))
-            .collect();
-        let Some(&victim) = self.nodes[node.index()].rng.choose(&victims) else {
+        let mut victims = std::mem::take(&mut self.steal_scratch);
+        victims.clear();
+        victims.extend(
+            (0..self.nodes.len())
+                .filter(|&i| i != node.index() && !self.nodes[i].tokens.is_empty() && !avoid(i))
+                .map(|i| NodeId(i as u16)),
+        );
+        let chosen = self.nodes[node.index()].rng.choose(&victims).copied();
+        self.steal_scratch = victims;
+        let Some(victim) = chosen else {
             // All tokens are in flight; a poke will arrive with them.
             return VirtualDuration::ZERO;
         };
@@ -984,11 +1004,7 @@ impl Runtime {
                 reply_off,
                 done,
             } => {
-                let data = self.nodes[node.index()]
-                    .mem
-                    .read(src_off, len)
-                    .to_vec()
-                    .into_boxed_slice();
+                let data = Payload::from(self.nodes[node.index()].mem.read(src_off, len));
                 cost += costs.op_send;
                 self.transmit(
                     at + cost,

@@ -14,7 +14,7 @@
 
 use crate::topology::NodeId;
 use earth_faults::FaultPlan;
-use earth_sim::VirtualDuration;
+use earth_sim::{QueueKind, VirtualDuration};
 
 /// Whether an operation completes one-way (fire and forget) or requires a
 /// round trip. Determines which inflated overhead the message-passing cost
@@ -170,6 +170,11 @@ pub struct MachineConfig {
     /// trivial plan normalizes to) means the fault plane is absent: the
     /// network takes the exact fault-free code path.
     pub faults: Option<FaultPlan>,
+    /// Which event-queue implementation the runtime schedules on. The
+    /// ladder queue (default) is pop-for-pop identical to the reference
+    /// heap — the differential suite proves it — so this knob changes
+    /// wall-clock speed only, never results.
+    pub queue: QueueKind,
 }
 
 impl MachineConfig {
@@ -187,6 +192,7 @@ impl MachineConfig {
             comm: CommCostModel::Earth,
             dual_processor: false,
             faults: None,
+            queue: QueueKind::default(),
         }
     }
 
@@ -218,6 +224,13 @@ impl MachineConfig {
         self
     }
 
+    /// Same machine scheduling on the given event-queue implementation.
+    /// Results are identical either way; only host wall-clock differs.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+
     /// Pure wire time for `bytes` from `src` to `dst`: per-hop crossbar
     /// latency plus serialization at link bandwidth. Zero for local
     /// transfers.
@@ -243,6 +256,9 @@ mod tests {
         assert_eq!(m.cluster_size, 16);
         assert_eq!(m.link_bytes_per_sec, 50_000_000);
         assert!(matches!(m.comm, CommCostModel::Earth));
+        assert_eq!(m.queue, QueueKind::Ladder, "ladder is the default queue");
+        let m = m.with_queue(QueueKind::Heap);
+        assert_eq!(m.queue, QueueKind::Heap);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! * [`VirtualTime`] / [`VirtualDuration`] — a nanosecond-resolution clock
 //!   with saturating/checked arithmetic and human-readable formatting;
 //! * [`EventQueue`] — a priority queue of timestamped events with a total,
-//!   reproducible ordering (ties broken by insertion sequence number);
+//!   reproducible ordering (ties broken by insertion sequence number), plus
+//!   [`LadderQueue`], a pop-for-pop identical ladder queue with O(1)
+//!   near-horizon push/pop, selected per simulation via [`QueueKind`];
 //! * [`Rng`] — a small, self-contained xoshiro256** PRNG seeded via
 //!   SplitMix64, so simulations are bit-identical for a given seed
 //!   regardless of dependency versions or platform.
@@ -17,11 +19,15 @@
 //! [`stats`] adds the summary helpers (mean / min / max / stddev, speedup
 //! series) used by the benchmark harness to reproduce the paper's figures.
 
+pub mod ladder;
+pub mod order;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use ladder::{LadderQueue, QueueKind, SimQueue};
+pub use order::MinEntry;
 pub use queue::EventQueue;
 pub use rng::Rng;
 pub use stats::{Breakdown, Summary};

@@ -6,44 +6,19 @@
 //! number, and the queue orders by `(time, seq)` — earliest time first,
 //! insertion order among ties. This makes whole-simulation traces a pure
 //! function of (program, seed).
+//!
+//! This is the *reference* queue: the property-tested baseline that the
+//! ladder queue in [`crate::ladder`] is differentially checked against.
 
+use crate::order::MinEntry;
 use crate::time::VirtualTime;
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-
-struct Entry<E> {
-    time: VirtualTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
 /// A deterministic priority queue of `(VirtualTime, E)` pairs.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: BinaryHeap<MinEntry<VirtualTime, E>>,
     next_seq: u64,
+    peak: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -58,6 +33,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            peak: 0,
         }
     }
 
@@ -66,17 +42,20 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: VirtualTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push(MinEntry::new(time, seq, event));
+        if self.heap.len() > self.peak {
+            self.peak = self.heap.len();
+        }
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(VirtualTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        self.heap.pop().map(|e| (e.key, e.item))
     }
 
     /// Timestamp of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<VirtualTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.peek().map(|e| e.key)
     }
 
     /// Number of pending events.
@@ -92,6 +71,11 @@ impl<E> EventQueue<E> {
     /// Total number of events ever scheduled (a cheap activity metric).
     pub fn total_scheduled(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Largest number of events ever pending at once.
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 
     /// Drop all pending events (used to cut a simulation short once its
@@ -157,5 +141,22 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.total_scheduled(), 2);
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        q.push(t(1), 0);
+        q.push(t(2), 1);
+        q.push(t(3), 2);
+        assert_eq!(q.peak_len(), 3);
+        q.pop();
+        q.pop();
+        q.push(t(4), 3);
+        // Depth never exceeded 3 again.
+        assert_eq!(q.peak_len(), 3);
+        q.clear();
+        assert_eq!(q.peak_len(), 3, "peak survives clear()");
     }
 }

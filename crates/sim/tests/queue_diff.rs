@@ -1,0 +1,214 @@
+//! Differential property suite: `LadderQueue` must pop in *exactly* the
+//! order of the reference `EventQueue` on generated `(time, seq)`
+//! workloads — heavy ties, same-instant bursts, interleaved push/pop,
+//! past-time pushes, and far-future sentinels. The ladder is only
+//! allowed to be fast, never different.
+
+use earth_sim::{EventQueue, LadderQueue, QueueKind, Rng, SimQueue, VirtualTime};
+
+fn t(ns: u64) -> VirtualTime {
+    VirtualTime::from_ns(ns)
+}
+
+/// One generated operation of a queue workload.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Push(u64),
+    Pop,
+}
+
+/// Run the same op sequence against both queues, asserting pop-for-pop
+/// and observable-state equality at every step.
+fn check_equivalent(label: &str, ops: &[Op]) {
+    let mut reference = EventQueue::new();
+    let mut ladder = LadderQueue::new();
+    let mut payload = 0u64;
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Push(ns) => {
+                reference.push(t(ns), payload);
+                ladder.push(t(ns), payload);
+                payload += 1;
+            }
+            Op::Pop => {
+                let want = reference.pop();
+                let got = ladder.pop();
+                assert_eq!(
+                    got,
+                    want,
+                    "{label}: divergent pop at step {step} of {}",
+                    ops.len()
+                );
+            }
+        }
+        assert_eq!(ladder.len(), reference.len(), "{label}: len at step {step}");
+        assert_eq!(
+            ladder.peek_time(),
+            reference.peek_time(),
+            "{label}: peek at step {step}"
+        );
+    }
+    // Drain whatever is left; the tails must match too.
+    loop {
+        let want = reference.pop();
+        let got = ladder.pop();
+        assert_eq!(got, want, "{label}: divergent pop in final drain");
+        if want.is_none() {
+            break;
+        }
+    }
+    assert_eq!(ladder.total_scheduled(), reference.total_scheduled());
+    assert_eq!(ladder.peak_len(), reference.peak_len(), "{label}: peak");
+}
+
+#[test]
+fn heavy_ties_pop_identically() {
+    // 2000 events over just 7 distinct instants.
+    let mut rng = Rng::new(0x7135);
+    let instants = [0u64, 1, 5, 5, 100, 10_000, u64::MAX];
+    let mut ops = Vec::new();
+    for _ in 0..2000 {
+        let ns = instants[rng.gen_range(instants.len() as u64) as usize];
+        ops.push(Op::Push(ns));
+    }
+    for _ in 0..2000 {
+        ops.push(Op::Pop);
+    }
+    check_equivalent("heavy_ties", &ops);
+}
+
+#[test]
+fn same_instant_bursts_after_partial_drain() {
+    // Drain into an instant, then burst more events at that instant —
+    // the ladder must weave them into its active slice by seq.
+    let mut ops = Vec::new();
+    for i in 0..50 {
+        ops.push(Op::Push(10 * i));
+    }
+    for _ in 0..25 {
+        ops.push(Op::Pop);
+    }
+    for _ in 0..40 {
+        ops.push(Op::Push(240)); // exactly the frontier instant
+    }
+    for _ in 0..30 {
+        ops.push(Op::Pop);
+    }
+    for _ in 0..20 {
+        ops.push(Op::Push(240));
+        ops.push(Op::Pop);
+    }
+    check_equivalent("same_instant_bursts", &ops);
+}
+
+#[test]
+fn interleaved_push_pop_random_walk() {
+    // A simulator-shaped workload: times drift forward from a moving
+    // "now", with occasional far-future and past-time pushes.
+    let mut rng = Rng::new(0xEA12_7001);
+    let mut ops = Vec::new();
+    let mut now = 0u64;
+    for _ in 0..30_000 {
+        match rng.gen_range(10) {
+            0..=5 => {
+                let ahead = rng.gen_range(5_000);
+                ops.push(Op::Push(now + ahead));
+            }
+            6 => {
+                let far = rng.gen_range(10_000_000);
+                ops.push(Op::Push(now + 1_000_000 + far));
+            }
+            7 => {
+                let back = rng.gen_range(now.max(1));
+                ops.push(Op::Push(now - back.min(now)));
+            }
+            _ => {
+                ops.push(Op::Pop);
+                now += rng.gen_range(200);
+            }
+        }
+    }
+    check_equivalent("random_walk", &ops);
+}
+
+#[test]
+fn multi_respan_wide_spread() {
+    // Far more events than one re-span window, spread over a huge time
+    // range, popped in large batches to force repeated re-spans.
+    let mut rng = Rng::new(42);
+    let mut ops = Vec::new();
+    for round in 0..6 {
+        for _ in 0..3000 {
+            ops.push(Op::Push(rng.gen_range(1 << 40)));
+        }
+        for _ in 0..(1500 + round * 300) {
+            ops.push(Op::Pop);
+        }
+    }
+    check_equivalent("multi_respan", &ops);
+}
+
+#[test]
+fn pop_from_empty_then_refill() {
+    let mut ops = vec![Op::Pop, Op::Pop];
+    for i in 0..10 {
+        ops.push(Op::Push(i * 100));
+    }
+    for _ in 0..12 {
+        ops.push(Op::Pop);
+    }
+    for i in 0..10 {
+        ops.push(Op::Push(i * 7));
+    }
+    for _ in 0..10 {
+        ops.push(Op::Pop);
+    }
+    check_equivalent("empty_refill", &ops);
+}
+
+#[test]
+fn idle_forever_sentinels_mix_with_real_events() {
+    // The runtime parks idle nodes at VirtualTime::MAX; sentinels and
+    // real events must interleave identically.
+    let mut rng = Rng::new(99);
+    let mut ops = Vec::new();
+    for _ in 0..500 {
+        if rng.gen_range(4) == 0 {
+            ops.push(Op::Push(u64::MAX));
+        } else {
+            ops.push(Op::Push(rng.gen_range(1000)));
+        }
+        if rng.gen_range(3) == 0 {
+            ops.push(Op::Pop);
+        }
+    }
+    check_equivalent("idle_sentinels", &ops);
+}
+
+#[test]
+fn simqueue_kinds_agree_on_random_workload() {
+    // The dispatch wrapper itself, driven under both kinds.
+    let mut rng = Rng::new(0xD1FF);
+    let mut heap = SimQueue::new(QueueKind::Heap);
+    let mut ladder = SimQueue::new(QueueKind::Ladder);
+    let mut payload = 0u32;
+    for _ in 0..10_000 {
+        if rng.gen_range(3) < 2 {
+            let time = t(rng.gen_range(1 << 30));
+            heap.push(time, payload);
+            ladder.push(time, payload);
+            payload += 1;
+        } else {
+            assert_eq!(heap.pop(), ladder.pop());
+        }
+        assert_eq!(heap.len(), ladder.len());
+    }
+    loop {
+        let a = heap.pop();
+        assert_eq!(a, ladder.pop());
+        if a.is_none() {
+            break;
+        }
+    }
+    assert_eq!(heap.peak_len(), ladder.peak_len());
+}

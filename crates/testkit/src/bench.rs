@@ -40,6 +40,8 @@ pub struct Stats {
     pub min_ns: f64,
     /// Slowest sample.
     pub max_ns: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95_ns: f64,
 }
 
 /// Exact summary statistics of a sample list (pure; unit-testable).
@@ -55,6 +57,9 @@ pub fn stats(samples: &[f64]) -> Stats {
     } else {
         (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
     };
+    // Nearest-rank percentile: the smallest sample with at least 95% of
+    // the distribution at or below it.
+    let p95_idx = ((0.95 * n as f64).ceil() as usize).max(1) - 1;
     Stats {
         n,
         mean_ns: mean,
@@ -62,6 +67,7 @@ pub fn stats(samples: &[f64]) -> Stats {
         stddev_ns: var.sqrt(),
         min_ns: sorted[0],
         max_ns: sorted[n - 1],
+        p95_ns: sorted[p95_idx],
     }
 }
 
@@ -71,8 +77,8 @@ impl Stats {
         let mut s = String::new();
         let _ = write!(
             s,
-            "{{\"bench\":\"{id}\",\"n\":{},\"mean_ns\":{:.3},\"median_ns\":{:.3},\"stddev_ns\":{:.3},\"min_ns\":{:.3},\"max_ns\":{:.3}}}",
-            self.n, self.mean_ns, self.median_ns, self.stddev_ns, self.min_ns, self.max_ns
+            "{{\"bench\":\"{id}\",\"n\":{},\"mean_ns\":{:.3},\"median_ns\":{:.3},\"stddev_ns\":{:.3},\"min_ns\":{:.3},\"max_ns\":{:.3},\"p95_ns\":{:.3}}}",
+            self.n, self.mean_ns, self.median_ns, self.stddev_ns, self.min_ns, self.max_ns, self.p95_ns
         );
         s
     }
@@ -219,6 +225,22 @@ impl Bencher {
         }
     }
 
+    /// Record caller-measured durations: `f` runs the workload itself
+    /// and returns the nanoseconds to attribute to that sample (e.g. the
+    /// timed hot loop of a larger routine). Warmup calls are made but
+    /// their returns are discarded.
+    pub fn iter_custom<F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> f64,
+    {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        for _ in 0..self.samples_target {
+            self.samples_ns.push(f());
+        }
+    }
+
     /// Time `routine` over fresh `setup` outputs, excluding setup time.
     pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
     where
@@ -259,6 +281,38 @@ mod tests {
         assert_eq!(st.min_ns, 1.0);
         assert_eq!(st.max_ns, 9.0);
         assert_eq!(st.mean_ns, 4.5);
+    }
+
+    #[test]
+    fn p95_is_nearest_rank() {
+        // 1..=100: rank ceil(0.95*100)=95 → the value 95.
+        let samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(stats(&samples).p95_ns, 95.0);
+        // Small n degenerates to the max.
+        assert_eq!(stats(&[3.0, 1.0, 2.0]).p95_ns, 3.0);
+        assert_eq!(stats(&[7.0]).p95_ns, 7.0);
+    }
+
+    #[test]
+    fn iter_custom_excludes_warmup_samples() {
+        let mut bench = Bench::new(false);
+        let mut calls = 0u32;
+        let st = bench.bench_function("custom_probe", |b| {
+            b.iter_custom(|| {
+                calls += 1;
+                // Warmup calls (the first 10) report a wild outlier; if
+                // any leaked into the samples the mean could not be 10.
+                if calls <= 10 {
+                    1000.0
+                } else {
+                    10.0
+                }
+            });
+        });
+        assert_eq!(calls, 70, "10 warmup calls + 60 samples");
+        assert_eq!(st.n, 60);
+        assert_eq!(st.mean_ns, 10.0, "warmup values leaked into samples");
+        assert_eq!(st.p95_ns, 10.0);
     }
 
     #[test]

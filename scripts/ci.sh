@@ -29,4 +29,12 @@ cargo fmt --check
 echo "== bench smoke (1 iteration per benchmark) =="
 TESTKIT_BENCH_SMOKE=1 cargo bench --offline --workspace >/dev/null
 
+echo "== perf-baseline smoke (schema check against the committed BENCH json) =="
+cargo run --release --offline -p earth-bench --bin repro -- \
+    bench --smoke --check-schema BENCH_2026-08-07.json >/dev/null
+
+echo "== event-queue equivalence (ladder vs reference heap) =="
+cargo test -q --offline -p earth-sim --test queue_diff
+cargo test -q --offline --test ladder_apps
+
 echo "ci.sh: all green"
