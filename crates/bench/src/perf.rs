@@ -232,10 +232,54 @@ pub fn schema_signature(json: &str) -> Result<String, String> {
                 sig.push_str(&json[start..i]);
             }
             b'0'..=b'9' | b'-' => {
-                while i < bytes.len()
-                    && matches!(bytes[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-                {
+                // Strict JSON number grammar:
+                // -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)? —
+                // a loose "any run of number-ish bytes" scanner would
+                // let corrupt values like `1-2` or `1e+` collapse to
+                // `#` and slip past the CI schema check.
+                let start = i;
+                if bytes[i] == b'-' {
                     i += 1;
+                }
+                let int_start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i == int_start {
+                    return Err(format!("bad number at byte {start}: missing digits"));
+                }
+                if bytes[int_start] == b'0' && i - int_start > 1 {
+                    return Err(format!("bad number at byte {start}: leading zero"));
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    i += 1;
+                    let frac_start = i;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    if i == frac_start {
+                        return Err(format!("bad number at byte {start}: empty fraction"));
+                    }
+                }
+                if i < bytes.len() && matches!(bytes[i], b'e' | b'E') {
+                    i += 1;
+                    if i < bytes.len() && matches!(bytes[i], b'+' | b'-') {
+                        i += 1;
+                    }
+                    let exp_start = i;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    if i == exp_start {
+                        return Err(format!("bad number at byte {start}: empty exponent"));
+                    }
+                }
+                // A number may only be followed by a structural byte or
+                // whitespace; this rejects run-on garbage like `1-2`.
+                if i < bytes.len()
+                    && !matches!(bytes[i], b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r')
+                {
+                    return Err(format!("trailing garbage after number at byte {i}"));
                 }
                 sig.push('#');
             }
@@ -285,6 +329,31 @@ mod tests {
         assert!(schema_signature("{\"open").is_err());
         assert!(schema_signature("{\"k\":nul}").is_err());
         assert!(schema_signature("{\"k\":@}").is_err());
+    }
+
+    #[test]
+    fn signature_rejects_malformed_numbers() {
+        for bad in [
+            r#"{"k":1-2}"#,
+            r#"{"k":1e+}"#,
+            r#"{"k":1e}"#,
+            r#"{"k":-}"#,
+            r#"{"k":1.}"#,
+            r#"{"k":.5}"#,
+            r#"{"k":01}"#,
+            r#"{"k":1x}"#,
+        ] {
+            assert!(schema_signature(bad).is_err(), "accepted {bad}");
+        }
+        for good in [
+            r#"{"k":0}"#,
+            r#"{"k":-0.5e+10}"#,
+            r#"{"k":12.25}"#,
+            r#"{"k":3E-7}"#,
+            r#"[1, 2 ,3]"#,
+        ] {
+            assert!(schema_signature(good).is_ok(), "rejected {good}");
+        }
     }
 
     /// The committed baseline must always have the schema the current

@@ -215,9 +215,13 @@ impl<E> LadderQueue<E> {
         // Descending (time, seq): seqs are unique, so unstable is fine.
         self.bottom
             .sort_unstable_by_key(|e| std::cmp::Reverse((e.key, e.seq)));
+        // Saturating throughout: a window spanning nearly the full time
+        // axis (e.g. a near-zero event plus a MAX sentinel) makes
+        // `bucket_w` large enough that `cursor * bucket_w` alone can
+        // exceed u64; the `min(win_hi)` clamp makes saturation exact.
         self.active_hi = self
             .win_lo
-            .saturating_add(self.cursor as u64 * self.bucket_w)
+            .saturating_add((self.cursor as u64).saturating_mul(self.bucket_w))
             .min(self.win_hi);
     }
 
@@ -468,6 +472,25 @@ mod tests {
         q.push(VirtualTime::MAX, "idle-later");
         assert_eq!(q.pop(), Some((VirtualTime::MAX, "idle-forever")));
         assert_eq!(q.pop(), Some((VirtualTime::MAX, "idle-later")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn full_axis_respan_window_does_not_overflow() {
+        // Regression: t=0 and a MAX sentinel in the same re-span make
+        // the window span the whole time axis (bucket_w = 2^58), and
+        // activating the last bucket used to compute
+        // `64 * bucket_w = 2^64`, overflowing u64 (debug panic,
+        // release wrap corrupting `active_hi`).
+        let mut q = LadderQueue::new();
+        q.push(VirtualTime::ZERO, "now");
+        q.push(VirtualTime::MAX, "idle-forever");
+        assert_eq!(q.pop(), Some((VirtualTime::ZERO, "now")));
+        // In-window push after the overflow-prone bucket activation
+        // must still order correctly.
+        q.push(t(5), "late");
+        assert_eq!(q.pop(), Some((t(5), "late")));
+        assert_eq!(q.pop(), Some((VirtualTime::MAX, "idle-forever")));
         assert_eq!(q.pop(), None);
     }
 

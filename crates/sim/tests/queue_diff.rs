@@ -168,7 +168,8 @@ fn pop_from_empty_then_refill() {
 
 #[test]
 fn idle_forever_sentinels_mix_with_real_events() {
-    // The runtime parks idle nodes at VirtualTime::MAX; sentinels and
+    // VirtualTime::MAX sentinels are part of the queue's supported
+    // input domain (today only tests exercise them); sentinels and
     // real events must interleave identically.
     let mut rng = Rng::new(99);
     let mut ops = Vec::new();
@@ -183,6 +184,28 @@ fn idle_forever_sentinels_mix_with_real_events() {
         }
     }
     check_equivalent("idle_sentinels", &ops);
+}
+
+#[test]
+fn full_axis_window_with_max_sentinel() {
+    // Regression: a near-zero event and a MAX sentinel in the same
+    // re-span make bucket_w = 2^58, and activating the last bucket
+    // used to overflow computing `64 * bucket_w`. Deterministic ops —
+    // no RNG — so the overflow window is always constructed.
+    let ops = [
+        Op::Push(0),
+        Op::Push(u64::MAX),
+        Op::Pop,
+        Op::Push(62), // in-window push after the first activation
+        Op::Pop,
+        Op::Pop,
+        Op::Push(u64::MAX), // sentinel alone, then refill near zero
+        Op::Pop,
+        Op::Push(1),
+        Op::Pop,
+        Op::Pop,
+    ];
+    check_equivalent("full_axis_window", &ops);
 }
 
 #[test]
