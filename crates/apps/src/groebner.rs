@@ -1003,6 +1003,7 @@ pub fn run_groebner_diag(
         false,
         None,
         None,
+        None,
     );
     let diag = run.diag.clone().unwrap_or_default();
     (run, diag)
@@ -1029,6 +1030,7 @@ pub fn run_groebner(
         false,
         None,
         None,
+        None,
     )
 }
 
@@ -1051,6 +1053,7 @@ pub fn run_groebner_profiled(
         comm_sync_us,
         false,
         true,
+        None,
         None,
         None,
     )
@@ -1078,6 +1081,7 @@ pub fn run_groebner_faulted(
         false,
         false,
         Some(plan),
+        None,
         None,
     )
 }
@@ -1130,6 +1134,34 @@ pub fn run_groebner_queued(
         false,
         plan,
         Some(queue),
+        None,
+    )
+}
+
+/// Like [`run_groebner`] but wiring the machine with the given
+/// interconnect — the scaling sweeps run the same completion on every
+/// topology. `TopologyKind::Crossbar` is byte-identical to
+/// [`run_groebner`].
+pub fn run_groebner_topo(
+    ring: &Ring,
+    input: &[Poly],
+    nodes: u16,
+    seed: u64,
+    strategy: SelectionStrategy,
+    topo: earth_machine::TopologyKind,
+) -> GroebnerRun {
+    run_groebner_inner(
+        ring,
+        input,
+        nodes,
+        seed,
+        strategy,
+        None,
+        false,
+        false,
+        None,
+        None,
+        Some(topo),
     )
 }
 
@@ -1145,6 +1177,7 @@ fn run_groebner_inner(
     profile: bool,
     faults: Option<&earth_machine::FaultPlan>,
     queue: Option<QueueKind>,
+    topo: Option<earth_machine::TopologyKind>,
 ) -> GroebnerRun {
     assert!(nodes >= 1);
     let workers: u16 = if nodes == 1 { 1 } else { nodes - 1 };
@@ -1159,6 +1192,9 @@ fn run_groebner_inner(
     }
     if let Some(q) = queue {
         cfg = cfg.with_queue(q);
+    }
+    if let Some(t) = topo {
+        cfg = cfg.with_topology(t);
     }
     let mut rt = Runtime::new(cfg, seed);
     if profile {

@@ -29,6 +29,11 @@
 //! `--smoke` shrinks the workloads to CI size; `--check-schema FILE`
 //! additionally validates that `FILE`'s schema matches the emitted
 //! document, exiting nonzero on drift.
+//!
+//! `scale` (not part of `all`) runs the topology scale sweep:
+//! speedup-vs-nodes curves for all three applications across the four
+//! interconnects, up to 1024 nodes (`--smoke` caps the sweep at 256
+//! nodes). Fixed-seed, so `repro scale --json` is a diffable artifact.
 
 use earth_bench::*;
 
@@ -140,6 +145,11 @@ fn main() {
     }
     if what.contains(&"crashes") {
         let t = crashes_table();
+        println!("{}", if json { t.to_json() } else { t.render() });
+    }
+    if what.contains(&"scale") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let t = if smoke { scale_smoke() } else { scale_table() };
         println!("{}", if json { t.to_json() } else { t.render() });
     }
     if what.contains(&"bench") {

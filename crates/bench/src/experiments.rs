@@ -2,14 +2,16 @@
 
 use crate::workloads::*;
 use earth_algebra::buchberger::{buchberger, SelectionStrategy};
-use earth_algebra::inputs::table2_inputs;
+use earth_algebra::inputs::{katsura, table2_inputs};
 use earth_algebra::wire::wire_len;
-use earth_apps::eigen::{run_eigen, run_eigen_faulted, run_eigen_profiled, EigenRun, FetchMode};
-use earth_apps::groebner::{run_groebner, run_groebner_profiled, GroebnerRun};
+use earth_apps::eigen::{
+    run_eigen, run_eigen_faulted, run_eigen_on, run_eigen_profiled, EigenRun, FetchMode,
+};
+use earth_apps::groebner::{run_groebner, run_groebner_profiled, run_groebner_topo, GroebnerRun};
 use earth_apps::neural::{run_neural, run_neural_on, CommsShape, PassMode};
 use earth_linalg::bisect::bisect_all;
 use earth_linalg::SymTridiagonal;
-use earth_machine::{FaultPlan, MachineConfig};
+use earth_machine::{FaultPlan, MachineConfig, TopologyKind};
 use earth_sim::{Summary, VirtualDuration, VirtualTime};
 use std::fmt::Write as _;
 
@@ -844,6 +846,191 @@ impl CrashesTable {
                     c.rehomed,
                     format!("{}", c.downtime)
                 );
+            }
+        }
+        s
+    }
+}
+
+/// The interconnects the scale sweep compares (the default hierarchical
+/// crossbar first, so every other curve reads against it).
+pub fn scale_topologies() -> [TopologyKind; 4] {
+    [
+        TopologyKind::Crossbar,
+        TopologyKind::Hypercube,
+        TopologyKind::Torus3D,
+        TopologyKind::fat_tree(),
+    ]
+}
+
+/// One speedup-vs-nodes curve of the scale sweep: one application on
+/// one interconnect.
+pub struct ScaleCurve {
+    /// Application name (`eigen`, `groebner`, `neural`).
+    pub app: &'static str,
+    /// Interconnect label ([`TopologyKind::label`]).
+    pub topology: &'static str,
+    /// Parallel virtual time per machine size (per-sample time for the
+    /// neural network, matching the Fig. 7 convention).
+    pub elapsed: Vec<VirtualDuration>,
+    /// Speedups against the application's sequential baseline.
+    pub speedups: Vec<f64>,
+}
+
+/// The `repro scale` sweep: speedup-vs-nodes curves for the three
+/// applications across four interconnect topologies, far past the
+/// paper's 20-node MANNA into the regime where each application's
+/// speedup shape breaks.
+pub struct ScaleTable {
+    /// Machine sizes swept (the full sweep ends at 1024).
+    pub nodes: Vec<u16>,
+    /// Applications, in curve order.
+    pub apps: Vec<&'static str>,
+    /// Sequential baseline per application (same definitions as the
+    /// paper figures: analytic sequential runtime of the same workload).
+    pub baseline: Vec<VirtualDuration>,
+    /// Curves, application-major then topology-minor, matching
+    /// [`scale_topologies`] order.
+    pub curves: Vec<ScaleCurve>,
+}
+
+/// Run the full scale sweep up to 1024 nodes. Fixed-seed and
+/// independent of `--quick`, like the fault sweeps, so the JSON record
+/// is byte-identical on every invocation of the same build.
+pub fn scale_table() -> ScaleTable {
+    scale_at(&[20, 64, 256, 1024])
+}
+
+/// The CI-sized scale sweep: same workloads, same schema, capped at 256
+/// nodes so a debug-build golden test stays cheap.
+pub fn scale_smoke() -> ScaleTable {
+    scale_at(&[20, 64, 256])
+}
+
+fn scale_at(nodes: &[u16]) -> ScaleTable {
+    // Deliberately small fixed workloads: by 256 nodes every one of
+    // them has less work than the machine has processors, which is the
+    // point — the curves show where each speedup shape breaks.
+    let m = SymTridiagonal::random_clustered(60, 3, 11);
+    let tol = 1e-6;
+    let (ring, input) = katsura(3);
+    let units = 80;
+    let (_, estats) = bisect_all(&m, tol);
+    let eigen_seq = earth_linalg::cost::sequential_runtime(&estats, m.n());
+    let (_, gstats) = buchberger(&ring, &input, SelectionStrategy::Sugar);
+    let groebner_seq = earth_algebra::cost::sequential_runtime(&gstats);
+    let neural_seq = earth_nn::cost::sequential_forward(units);
+    let apps = vec!["eigen", "groebner", "neural"];
+    let baseline = vec![eigen_seq, groebner_seq, neural_seq];
+    let topologies = scale_topologies();
+
+    let jobs: Vec<(usize, TopologyKind, u16)> = (0..apps.len())
+        .flat_map(|app| {
+            topologies
+                .iter()
+                .flat_map(move |&t| nodes.iter().map(move |&n| (app, t, n)))
+        })
+        .collect();
+    let results = par_map(jobs, |(app, topo, n)| match app {
+        0 => {
+            let cfg = MachineConfig::manna(n).with_topology(topo);
+            let run = run_eigen_on(&m, tol, cfg, 42, FetchMode::Block);
+            (run.elapsed, Some(run.eigenvalues))
+        }
+        1 => {
+            let run = run_groebner_topo(&ring, &input, n, 1, SelectionStrategy::Sugar, topo);
+            (run.elapsed, None)
+        }
+        _ => {
+            let cfg = MachineConfig::manna(n).with_topology(topo);
+            let run = run_neural_on(
+                cfg,
+                units,
+                units,
+                units,
+                1,
+                7,
+                PassMode::Forward,
+                CommsShape::Tree,
+            );
+            (run.per_sample, None)
+        }
+    });
+
+    // Results are schedule-dependent in *time* but never in *values*:
+    // the eigensolver's output is pure math, so every topology must
+    // reproduce the crossbar run's eigenvalues bit-for-bit at the same
+    // machine size.
+    let per_topo = nodes.len();
+    for (ti, _) in topologies.iter().enumerate().skip(1) {
+        for (ni, &n) in nodes.iter().enumerate() {
+            assert_eq!(
+                results[ti * per_topo + ni].1,
+                results[ni].1,
+                "{} on {n} nodes changed the eigenvalues",
+                topologies[ti].label()
+            );
+        }
+    }
+
+    let curves = apps
+        .iter()
+        .enumerate()
+        .flat_map(|(ai, &app)| {
+            let results = &results;
+            let baseline = &baseline;
+            topologies.iter().enumerate().map(move |(ti, t)| {
+                let base = (ai * topologies.len() + ti) * per_topo;
+                let elapsed: Vec<VirtualDuration> =
+                    results[base..base + per_topo].iter().map(|r| r.0).collect();
+                let speedups = elapsed
+                    .iter()
+                    .map(|e| baseline[ai].as_us_f64() / e.as_us_f64())
+                    .collect();
+                ScaleCurve {
+                    app,
+                    topology: t.label(),
+                    elapsed,
+                    speedups,
+                }
+            })
+        })
+        .collect();
+    ScaleTable {
+        nodes: nodes.to_vec(),
+        apps,
+        baseline,
+        curves,
+    }
+}
+
+impl ScaleTable {
+    /// Text rendering: one block per application, topologies as columns.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Scale sweep: speedup vs nodes per interconnect (paper Fig. 5 shape, extended past MANNA's 20 nodes)"
+        );
+        let topos = scale_topologies();
+        for (ai, &app) in self.apps.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  {app} (sequential baseline {:.2} ms)",
+                self.baseline[ai].as_ms_f64()
+            );
+            let _ = write!(s, "    nodes");
+            for t in &topos {
+                let _ = write!(s, "  {:>9}", t.label());
+            }
+            let _ = writeln!(s);
+            for (ni, &n) in self.nodes.iter().enumerate() {
+                let _ = write!(s, "    {n:5}");
+                for (ti, _) in topos.iter().enumerate() {
+                    let c = &self.curves[ai * topos.len() + ti];
+                    let _ = write!(s, "  {:9.2}", c.speedups[ni]);
+                }
+                let _ = writeln!(s);
             }
         }
         s

@@ -239,6 +239,52 @@ impl CrashesTable {
     }
 }
 
+impl ScaleTable {
+    /// JSON record. Every value is a pure function of the fixed seeds
+    /// and workloads, so the record is byte-identical across
+    /// invocations.
+    pub fn to_json(&self) -> String {
+        let mut apps = String::from("[");
+        for (i, a) in self.apps.iter().enumerate() {
+            if i > 0 {
+                apps.push(',');
+            }
+            let _ = write!(apps, "\"{a}\"");
+        }
+        apps.push(']');
+        let mut topos = String::from("[");
+        for (i, t) in crate::experiments::scale_topologies().iter().enumerate() {
+            if i > 0 {
+                topos.push(',');
+            }
+            let _ = write!(topos, "\"{}\"", t.label());
+        }
+        topos.push(']');
+        let base: Vec<f64> = self.baseline.iter().map(|d| d.as_us_f64()).collect();
+        let mut curves = String::from("[");
+        for (i, c) in self.curves.iter().enumerate() {
+            if i > 0 {
+                curves.push(',');
+            }
+            let elapsed: Vec<f64> = c.elapsed.iter().map(|d| d.as_us_f64()).collect();
+            let _ = write!(
+                curves,
+                "{{\"app\":\"{}\",\"topology\":\"{}\",\"elapsed_us\":{},\"speedup\":{}}}",
+                c.app,
+                c.topology,
+                series(&elapsed),
+                series(&c.speedups)
+            );
+        }
+        curves.push(']');
+        format!(
+            "{{\"experiment\":\"scale\",\"nodes\":{},\"apps\":{apps},\"topologies\":{topos},\"baseline_us\":{},\"curves\":{curves}}}",
+            nodes_list(&self.nodes),
+            series(&base)
+        )
+    }
+}
+
 impl CommsAblation {
     /// JSON record.
     pub fn to_json(&self) -> String {

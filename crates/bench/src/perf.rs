@@ -25,6 +25,7 @@ use earth_apps::eigen::{
 };
 use earth_apps::groebner::{
     run_groebner, run_groebner_crashed, run_groebner_faulted, run_groebner_profiled,
+    run_groebner_topo,
 };
 use earth_apps::neural::{
     run_neural, run_neural_crashed, run_neural_faulted, run_neural_profiled, CommsShape, PassMode,
@@ -180,6 +181,23 @@ pub fn run_sweeps(smoke: bool) -> Vec<SweepResult> {
     out.push(measure("neural_profiled", nn, reps, || {
         run_neural_profiled(units, nn, samples, 21, mode, shape).report
     }));
+
+    // -- Topology scale points ------------------------------------------
+    // One 256-node Gröbner run per interconnect: the scan-free hot paths
+    // are what make this size affordable, so a regression shows up here
+    // as a wall-time cliff long before the full `repro scale` sweep.
+    let (sring, sinput) = if smoke { katsura(3) } else { katsura(4) };
+    let sn = 256;
+    for (name, kind) in [
+        ("scale_crossbar", earth_machine::TopologyKind::Crossbar),
+        ("scale_hypercube", earth_machine::TopologyKind::Hypercube),
+        ("scale_torus3d", earth_machine::TopologyKind::Torus3D),
+        ("scale_fattree", earth_machine::TopologyKind::fat_tree()),
+    ] {
+        out.push(measure(name, sn, reps, || {
+            run_groebner_topo(&sring, &sinput, sn, 1, SelectionStrategy::Sugar, kind).report
+        }));
+    }
 
     out
 }

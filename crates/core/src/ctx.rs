@@ -302,6 +302,7 @@ impl<'a> Ctx<'a> {
         self.rt.nodes[self.node.index()]
             .tokens
             .push_back(crate::node::Token { func, args, cp });
+        self.rt.sync_token_index(self.node.index());
         self.rt.global_tokens += 1;
         let at = self.now();
         self.rt.poke_idle(at);

@@ -48,6 +48,13 @@
 use earth_machine::{FaultPlan, NodeId};
 use earth_sim::{VirtualDuration, VirtualTime};
 
+/// The probe ring: each node monitors its successor mod the machine
+/// size. A free function so the runtime's tick loops can compute targets
+/// without holding a borrow of the whole [`RecoverState`].
+pub(crate) fn ring_successor(monitor: usize, nodes: usize) -> NodeId {
+    NodeId(((monitor + 1) % nodes) as u16)
+}
+
 /// Liveness of one node, as simulated (not as suspected).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub(crate) enum Health {
@@ -92,6 +99,12 @@ pub(crate) struct RecoverState {
     pub(crate) lost_work: Vec<VirtualDuration>,
     /// Instant each currently-down node crashed.
     pub(crate) down_since: Vec<VirtualTime>,
+    /// Ascending indices of nodes currently `Up` — the iteration set for
+    /// the periodic probe/checkpoint ticks, maintained incrementally by
+    /// [`mark_down`](RecoverState::mark_down) /
+    /// [`mark_up`](RecoverState::mark_up) so each round costs O(live)
+    /// instead of a skip-by-scan over every node.
+    pub(crate) live: Vec<u16>,
 }
 
 impl RecoverState {
@@ -134,12 +147,35 @@ impl RecoverState {
             busy_since_ckpt: vec![VirtualDuration::ZERO; n],
             lost_work: vec![VirtualDuration::ZERO; n],
             down_since: vec![VirtualTime::ZERO; n],
+            live: (0..nodes).collect(),
         }
     }
 
     /// The ring successor `monitor` probes.
     pub(crate) fn target_of(&self, monitor: usize) -> NodeId {
-        NodeId(((monitor + 1) % self.health.len()) as u16)
+        ring_successor(monitor, self.health.len())
+    }
+
+    /// Record `node` going down: flip its health and drop it from the
+    /// live list. The crash plane rejects overlapping windows, so the
+    /// node is always present.
+    pub(crate) fn mark_down(&mut self, node: usize) {
+        self.health[node] = Health::Down;
+        let pos = self
+            .live
+            .binary_search(&(node as u16))
+            .expect("downed node missing from live list");
+        self.live.remove(pos);
+    }
+
+    /// Record `node` coming back up: flip its health and re-insert it in
+    /// sorted position, so tick iteration order stays ascending (the
+    /// order the old skip-by-scan visited nodes in).
+    pub(crate) fn mark_up(&mut self, node: usize) {
+        self.health[node] = Health::Up;
+        if let Err(pos) = self.live.binary_search(&(node as u16)) {
+            self.live.insert(pos, node as u16);
+        }
     }
 
     pub(crate) fn is_down(&self, node: NodeId) -> bool {
@@ -188,6 +224,29 @@ mod tests {
         let rec = RecoverState::new(&plan, 3);
         assert_eq!(rec.target_of(0), NodeId(1));
         assert_eq!(rec.target_of(2), NodeId(0));
+    }
+
+    #[test]
+    fn live_list_tracks_health_transitions_in_order() {
+        let plan = FaultPlan::new().with_node_crash(0, t(1));
+        let mut rec = RecoverState::new(&plan, 5);
+        assert_eq!(rec.live, vec![0, 1, 2, 3, 4]);
+        rec.mark_down(3);
+        rec.mark_down(0);
+        assert_eq!(rec.live, vec![1, 2, 4]);
+        assert_eq!(rec.health[0], Health::Down);
+        assert_eq!(rec.health[3], Health::Down);
+        // Recovery re-inserts in ascending position, and is idempotent.
+        rec.mark_up(3);
+        rec.mark_up(3);
+        assert_eq!(rec.live, vec![1, 2, 3, 4]);
+        rec.mark_up(0);
+        assert_eq!(rec.live, vec![0, 1, 2, 3, 4]);
+        // The live list always mirrors the health vector exactly.
+        let scan: Vec<u16> = (0..5u16)
+            .filter(|&i| rec.health[i as usize] == Health::Up)
+            .collect();
+        assert_eq!(rec.live, scan);
     }
 
     #[test]

@@ -96,6 +96,15 @@ pub struct Runtime {
     steal_scratch: Vec<NodeId>,
     /// Scratch buffer for due retransmission keys (fault plans only).
     retr_scratch: Vec<(u16, u64)>,
+    /// Ascending indices of nodes whose token queue is non-empty — the
+    /// steal-victim candidate set, maintained incrementally at every
+    /// token-queue mutation (`sync_token_index`) so `try_steal` costs
+    /// O(holders) instead of scanning all nodes. `steal_victims_scan`
+    /// is the property-tested reference.
+    token_holders: Vec<u16>,
+    /// Scratch buffer for the periodic probe/checkpoint ticks' live-node
+    /// snapshot (crash plans only), reused across rounds.
+    tick_scratch: Vec<u16>,
 }
 
 impl Runtime {
@@ -146,6 +155,8 @@ impl Runtime {
             max_cp: VirtualDuration::ZERO,
             steal_scratch: Vec::new(),
             retr_scratch: Vec::new(),
+            token_holders: Vec::new(),
+            tick_scratch: Vec::new(),
         }
     }
 
@@ -414,7 +425,7 @@ impl Runtime {
         // latency spikes included) plus the ack's return-leg transfer time
         // plus the backoff margin. Receiver service time is *not* in the
         // ack path — the NIC acks on arrival — so this stays tight.
-        let ack_leg = self.config().transfer_time(dst, src, ACK_WIRE);
+        let ack_leg = self.net.transfer_time(dst, src, ACK_WIRE);
         let reli = self.reli.as_mut().unwrap();
         let deadline = r.expected + ack_leg + reli.backoff(attempts);
         match reli.unacked[src.index()].entry((dst.0, seq)) {
@@ -534,7 +545,7 @@ impl Runtime {
             rec.health[node] == Health::Up,
             "overlapping crash windows on node {node}"
         );
-        rec.health[node] = Health::Down;
+        rec.mark_down(node);
         rec.down_since[node] = t;
         rec.lost_work[node] = rec.busy_since_ckpt[node];
         self.nodes[node].stats.crashes += 1;
@@ -555,7 +566,7 @@ impl Runtime {
         }
         rec.crashes[i].resolved = true;
         let node = rec.crashes[i].node as usize;
-        rec.health[node] = Health::Up;
+        rec.mark_up(node);
         rec.suspected[node] = false;
         let replay = rec.restore_cost + rec.lost_work[node];
         rec.lost_work[node] = VirtualDuration::ZERO;
@@ -591,12 +602,17 @@ impl Runtime {
         }
         let (every, suspect_after) = (rec.heartbeat_every, rec.suspect_after);
         let cost = self.config().earth.op_send;
-        for m in 0..self.nodes.len() {
-            let rec = self.recover.as_ref().unwrap();
-            if rec.health[m] == Health::Down {
-                continue; // a dead node probes no one
-            }
-            let (monitor, target) = (NodeId(m as u16), rec.target_of(m));
+        // Hoist the crash-plane borrow: snapshot the live list once into
+        // reusable scratch (dead nodes probe no one) instead of
+        // re-borrowing `self.recover` and skipping down nodes by scan on
+        // every iteration. Ascending order matches the old scan's.
+        let mut live = std::mem::take(&mut self.tick_scratch);
+        live.clear();
+        live.extend_from_slice(&rec.live);
+        let total = self.nodes.len();
+        for &m in &live {
+            let m = m as usize;
+            let (monitor, target) = (NodeId(m as u16), crate::recover::ring_successor(m, total));
             let n = &mut self.nodes[m];
             n.stats.heartbeats += 1;
             n.stats.busy += cost;
@@ -620,6 +636,7 @@ impl Runtime {
             self.events
                 .push(sent + suspect_after, Event::DetectCheck { monitor, sent });
         }
+        self.tick_scratch = live;
         self.events.push(t + every, Event::ProbeTick);
     }
 
@@ -634,12 +651,19 @@ impl Runtime {
             return; // stand down with the detector
         }
         let (every, cost) = (rec.checkpoint_every, rec.checkpoint_cost);
-        for i in 0..self.nodes.len() {
-            let rec = self.recover.as_mut().unwrap();
-            if rec.health[i] == Health::Down {
-                continue; // nothing to capture; recovery re-checkpoints
-            }
-            rec.busy_since_ckpt[i] = VirtualDuration::ZERO;
+        // Hoist the crash-plane borrow: snapshot the live list (down
+        // nodes have nothing to capture; recovery re-checkpoints them)
+        // and reset every lost-work meter in one pass, instead of
+        // re-borrowing `self.recover` per node inside the stats loop.
+        let mut live = std::mem::take(&mut self.tick_scratch);
+        live.clear();
+        live.extend_from_slice(&rec.live);
+        let rec = self.recover.as_mut().unwrap();
+        for &i in &live {
+            rec.busy_since_ckpt[i as usize] = VirtualDuration::ZERO;
+        }
+        for &i in &live {
+            let i = i as usize;
             let n = &mut self.nodes[i];
             n.stats.checkpoints += 1;
             if !cost.is_zero() {
@@ -653,6 +677,7 @@ impl Runtime {
                 }
             }
         }
+        self.tick_scratch = live;
         self.events.push(t + every, Event::CkptTick);
     }
 
@@ -688,6 +713,7 @@ impl Runtime {
     /// without the crashed node.
     fn rehome_tokens(&mut self, t: VirtualTime, monitor: NodeId, target: NodeId) {
         let orphans: Vec<Token> = self.nodes[target.index()].tokens.drain(..).collect();
+        self.sync_token_index(target.index());
         if orphans.is_empty() {
             return;
         }
@@ -859,6 +885,7 @@ impl Runtime {
             elapsed += self.run_thread(t + elapsed, node, frame, tid, cp + costs.thread_switch);
             activity = Activity::Thread;
         } else if let Some(token) = self.nodes[node.index()].tokens.pop_back() {
+            self.sync_token_index(node.index());
             self.global_tokens -= 1;
             self.nodes[node.index()].stats.tokens_run += 1;
             elapsed += costs.token_op + costs.frame_setup;
@@ -912,6 +939,40 @@ impl Runtime {
         // else: idle; a Deliver or a poke will wake us.
     }
 
+    /// Re-sync `token_holders` membership for one node after its token
+    /// queue changed. Idempotent, O(log nodes) search + O(holders) shift
+    /// worst case; callers invoke it at every queue mutation so the set
+    /// always equals { i : !nodes[i].tokens.is_empty() }.
+    pub(crate) fn sync_token_index(&mut self, idx: usize) {
+        let holds = !self.nodes[idx].tokens.is_empty();
+        match self.token_holders.binary_search(&(idx as u16)) {
+            Ok(pos) if !holds => {
+                self.token_holders.remove(pos);
+            }
+            Err(pos) if holds => {
+                self.token_holders.insert(pos, idx as u16);
+            }
+            _ => {}
+        }
+    }
+
+    /// Reference steal-victim enumeration: the original full O(nodes)
+    /// scan. `try_steal` asserts its indexed fast path against this in
+    /// debug builds (the same scan-vs-index proof template as the fault
+    /// plane's `pause_until` cursor), and the property suite drives the
+    /// two through randomized mutation sequences.
+    fn steal_victims_scan(&self, node: NodeId) -> Vec<NodeId> {
+        let avoid = |i: usize| {
+            self.recover
+                .as_ref()
+                .is_some_and(|r| r.suspected[i] || r.health[i] == Health::Down)
+        };
+        (0..self.nodes.len())
+            .filter(|&i| i != node.index() && !self.nodes[i].tokens.is_empty() && !avoid(i))
+            .map(|i| NodeId(i as u16))
+            .collect()
+    }
+
     fn should_steal(&self, t: VirtualTime, node: NodeId) -> bool {
         let n = &self.nodes[node.index()];
         self.stealing_enabled
@@ -934,10 +995,20 @@ impl Runtime {
         };
         let mut victims = std::mem::take(&mut self.steal_scratch);
         victims.clear();
+        // token_holders is ascending and holds exactly the nodes with
+        // queued tokens, so this enumerates the same candidates in the
+        // same order as the reference full scan — only in O(holders).
         victims.extend(
-            (0..self.nodes.len())
-                .filter(|&i| i != node.index() && !self.nodes[i].tokens.is_empty() && !avoid(i))
+            self.token_holders
+                .iter()
+                .map(|&i| i as usize)
+                .filter(|&i| i != node.index() && !avoid(i))
                 .map(|i| NodeId(i as u16)),
+        );
+        debug_assert_eq!(
+            victims,
+            self.steal_victims_scan(node),
+            "token-holder index diverged from the reference scan"
         );
         let chosen = self.nodes[node.index()].rng.choose(&victims).copied();
         self.steal_scratch = victims;
@@ -1061,11 +1132,13 @@ impl Runtime {
                     n.steal_fails = 0;
                     n.stats.steals_ok += 1;
                 }
+                self.sync_token_index(node.index());
                 self.poke_idle(at + cost);
             }
             Msg::StealReq { thief } => {
                 cost += costs.op_send;
                 if let Some(token) = self.nodes[node.index()].tokens.pop_front() {
+                    self.sync_token_index(node.index());
                     cost += costs.token_op;
                     // The forwarded token depends both on its own creation
                     // chain and on the steal round trip that moved it.
@@ -1201,5 +1274,118 @@ impl Runtime {
 
     pub(crate) fn comm_sender_overhead(&self, class: OpClass, bytes: u32) -> VirtualDuration {
         self.config().comm.sender_overhead(class, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earth_machine::FaultPlan;
+    use earth_testkit::prelude::*;
+
+    /// Drive the token-holder index through randomized queue mutations and
+    /// assert the steal-victim enumeration stays byte-identical to the
+    /// reference full scan — same template as the fault plane's
+    /// `pause_until` cursor-vs-scan proof.
+    fn dummy_token() -> Token {
+        Token {
+            func: FuncId(0),
+            args: Payload::from(&[][..]),
+            cp: VirtualDuration::ZERO,
+        }
+    }
+
+    props! {
+        #![config(Config::with_cases(40))]
+
+        #[test]
+        fn token_holder_index_matches_reference_scan(
+            nodes in 2u16..40,
+            seed in any::<u64>(),
+            ops in collection::vec((any::<u16>(), 0u8..3), 1..200),
+        ) {
+            let mut rt = Runtime::new(MachineConfig::manna(nodes), seed);
+            for &(raw, kind) in &ops {
+                let i = (raw % nodes) as usize;
+                match kind {
+                    // push one token
+                    0 => {
+                        rt.nodes[i].tokens.push_back(dummy_token());
+                        rt.sync_token_index(i);
+                    }
+                    // pop one end or the other (possibly a no-op)
+                    1 => {
+                        rt.nodes[i].tokens.pop_back();
+                        rt.sync_token_index(i);
+                    }
+                    _ => {
+                        rt.nodes[i].tokens.pop_front();
+                        rt.sync_token_index(i);
+                    }
+                }
+                // The index must mirror queue occupancy exactly...
+                let holders: Vec<u16> = (0..nodes)
+                    .filter(|&j| !rt.nodes[j as usize].tokens.is_empty())
+                    .collect();
+                prop_assert_eq!(&rt.token_holders, &holders);
+                // ...and the victim enumeration every thief sees must
+                // match the reference scan from every vantage point.
+                for thief in 0..nodes {
+                    let thief = NodeId(thief);
+                    let fast: Vec<NodeId> = rt
+                        .token_holders
+                        .iter()
+                        .filter(|&&j| j != thief.0)
+                        .map(|&j| NodeId(j))
+                        .collect();
+                    prop_assert_eq!(fast, rt.steal_victims_scan(thief));
+                }
+            }
+        }
+
+        #[test]
+        fn token_holder_index_respects_crash_plane_avoidance(
+            seed in any::<u64>(),
+            downs in collection::vec(0u16..6, 0..4),
+            suspects in collection::vec(0u16..6, 0..4),
+            holders in collection::vec(0u16..6, 1..6),
+        ) {
+            // With a crash plane installed, the avoid() filter must apply
+            // identically to the indexed path and the scan.
+            let plan = FaultPlan::new()
+                .with_node_crash(0, VirtualTime::from_ns(1_000_000_000));
+            let cfg = MachineConfig::manna(6).with_faults(plan);
+            let mut rt = Runtime::new(cfg, seed);
+            for &h in &holders {
+                rt.nodes[h as usize].tokens.push_back(dummy_token());
+                rt.sync_token_index(h as usize);
+            }
+            let rec = rt.recover.as_mut().expect("crash plan installs plane");
+            for &d in &downs {
+                if rec.health[d as usize] == Health::Up {
+                    rec.mark_down(d as usize);
+                }
+            }
+            for &s in &suspects {
+                rec.suspected[s as usize] = true;
+            }
+            for thief in 0..6u16 {
+                let thief = NodeId(thief);
+                let scan = rt.steal_victims_scan(thief);
+                let fast: Vec<NodeId> = rt
+                    .token_holders
+                    .iter()
+                    .map(|&j| j as usize)
+                    .filter(|&j| {
+                        j != thief.index()
+                            && rt.recover.as_ref().is_none_or(|r| {
+                                !r.suspected[j] && r.health[j] == Health::Up
+                            })
+                    })
+                    .map(|j| NodeId(j as u16))
+                    .collect();
+                prop_assert_eq!(fast, scan);
+            }
+        }
     }
 }

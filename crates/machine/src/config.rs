@@ -12,7 +12,7 @@
 //!   These numbers approximate efficient OS-level messaging and standard
 //!   libraries such as MPI on mid-90s hardware.
 
-use crate::topology::NodeId;
+use crate::topology::{AnyTopology, NodeId, Topology, TopologyKind};
 use earth_faults::FaultPlan;
 use earth_sim::{QueueKind, VirtualDuration};
 
@@ -175,6 +175,12 @@ pub struct MachineConfig {
     /// heap — the differential suite proves it — so this knob changes
     /// wall-clock speed only, never results.
     pub queue: QueueKind,
+    /// Which interconnect connects the nodes. The default hierarchical
+    /// crossbar is provably free: it reproduces the pre-trait hardcoded
+    /// hop model byte for byte. Other kinds change hop counts and add
+    /// per-stage contention, so message flight times (and thus schedules)
+    /// differ.
+    pub topology: TopologyKind,
 }
 
 impl MachineConfig {
@@ -193,6 +199,7 @@ impl MachineConfig {
             dual_processor: false,
             faults: None,
             queue: QueueKind::default(),
+            topology: TopologyKind::default(),
         }
     }
 
@@ -231,17 +238,31 @@ impl MachineConfig {
         self
     }
 
-    /// Pure wire time for `bytes` from `src` to `dst`: per-hop crossbar
-    /// latency plus serialization at link bandwidth. Zero for local
-    /// transfers.
+    /// Same machine wired with the given interconnect.
+    /// `TopologyKind::Crossbar` (the default) is byte-identical to never
+    /// calling this at all.
+    pub fn with_topology(mut self, topology: TopologyKind) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Materialize the configured interconnect for this machine size.
+    pub fn interconnect(&self) -> AnyTopology {
+        self.topology.build(self.nodes, self.cluster_size)
+    }
+
+    /// Pure wire time for `bytes` from `src` to `dst`: per-stage switch
+    /// latency (hops × contention under the configured topology) plus
+    /// serialization at link bandwidth. Zero for local transfers.
     pub fn transfer_time(&self, src: NodeId, dst: NodeId, bytes: u32) -> VirtualDuration {
-        let h = crate::topology::hops(src, dst, self.cluster_size);
+        let topo = self.interconnect();
+        let h = topo.hops(src, dst) as u64 * topo.contention(src, dst) as u64;
         if h == 0 {
             return VirtualDuration::ZERO;
         }
         let serialize =
             VirtualDuration::from_us_f64(bytes as f64 / self.link_bytes_per_sec as f64 * 1.0e6);
-        self.wire_latency + self.hop_latency.times(h as u64) + serialize
+        self.wire_latency + self.hop_latency.times(h) + serialize
     }
 }
 

@@ -11,7 +11,10 @@
 //! This crate models the pieces of that hardware the paper's results
 //! depend on:
 //!
-//! * [`topology`] — node identity and the hierarchical-crossbar hop count;
+//! * [`topology`] — node identity and the pluggable interconnects: the
+//!   [`Topology`] trait (hop count + per-stage contention) with
+//!   hierarchical-crossbar (default), hypercube, 2D/3D torus, and fat-tree
+//!   implementations selected via [`TopologyKind`] on the machine config;
 //! * [`network`] — message timing: per-hop latency, per-byte serialization
 //!   at the sender NIC (which also models back-pressure: a node's link can
 //!   only carry one message at a time), and seeded latency jitter used for
@@ -31,7 +34,9 @@ pub use config::{CommCostModel, EarthCosts, MachineConfig, MsgPassingCosts, OpCl
 // `MachineConfig` without depending on earth-sim directly.
 pub use earth_sim::QueueKind;
 pub use network::{Delivery, FaultEvent, LinkSpan, NetFate, Network, NetworkStats, Resolved};
-pub use topology::NodeId;
+pub use topology::{
+    AnyTopology, FatTree, HierCrossbar, Hypercube, NodeId, Topology, TopologyKind, Torus,
+};
 
 // Re-export the fault plane so downstream crates (runtime, apps, bench)
 // can build `FaultPlan`s without depending on earth-faults directly.

@@ -17,7 +17,7 @@
 //! min/mean/max envelopes of Figs. 4b and 5.
 
 use crate::config::MachineConfig;
-use crate::topology::NodeId;
+use crate::topology::{AnyTopology, NodeId, Topology};
 use earth_faults::{Fate, FaultKind, FaultState};
 use earth_sim::{Rng, VirtualDuration, VirtualTime};
 
@@ -124,6 +124,10 @@ pub struct LinkSpan {
 /// The crossbar network: computes delivery times and tracks link occupancy.
 pub struct Network {
     cfg: MachineConfig,
+    /// The interconnect, materialized once from `cfg.topology` — building
+    /// a torus involves factoring the node count, so the per-message path
+    /// must not rebuild it.
+    topo: AnyTopology,
     /// Earliest instant each node's injection link is free.
     link_free: Vec<VirtualTime>,
     jitter_rng: Rng,
@@ -149,8 +153,10 @@ impl Network {
             #[allow(clippy::unusual_byte_groupings)] // ascii "faults"
             FaultState::new(plan, seed ^ 0x66_6175_6C74_73u64, cfg.nodes)
         });
+        let topo = cfg.interconnect();
         Network {
             cfg,
+            topo,
             link_free: vec![VirtualTime::ZERO; n],
             #[allow(clippy::unusual_byte_groupings)] // ascii "network"
             jitter_rng: Rng::new(seed ^ 0x6E65_7477_6F72_6Bu64),
@@ -189,6 +195,26 @@ impl Network {
     /// Machine configuration in force.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// The materialized interconnect.
+    pub fn topology(&self) -> &AnyTopology {
+        &self.topo
+    }
+
+    /// Pure wire time for `bytes` from `src` to `dst` under the cached
+    /// interconnect — same math as
+    /// [`MachineConfig::transfer_time`](MachineConfig::transfer_time)
+    /// without rebuilding the topology per call (the runtime asks on
+    /// every reliable ack).
+    pub fn transfer_time(&self, src: NodeId, dst: NodeId, bytes: u32) -> VirtualDuration {
+        let h = self.topo.hops(src, dst) as u64 * self.topo.contention(src, dst) as u64;
+        if h == 0 {
+            return VirtualDuration::ZERO;
+        }
+        let serialize =
+            VirtualDuration::from_us_f64(bytes as f64 / self.cfg.link_bytes_per_sec as f64 * 1.0e6);
+        self.cfg.wire_latency + self.cfg.hop_latency.times(h) + serialize
     }
 
     /// Start recording sender-link occupancy intervals (earth-profile's
@@ -347,7 +373,11 @@ impl Network {
             });
         }
 
-        let hops = crate::topology::hops(src, dst, self.cfg.cluster_size) as u64;
+        // Effective stage count: hops weighted by the route's per-stage
+        // contention factor. Conflict-free fabrics (crossbar, hypercube,
+        // oversub-1 fat tree) have contention 1, so this is exactly the
+        // pre-trait `hops` product there.
+        let hops = self.topo.hops(src, dst) as u64 * self.topo.contention(src, dst) as u64;
         let mut flight = self.cfg.wire_latency + self.cfg.hop_latency.times(hops);
         if self.cfg.latency_jitter > 0.0 {
             let f = 1.0
@@ -613,6 +643,87 @@ mod tests {
         let events = logged.take_fault_events();
         assert_eq!(events.len() as u64, logged.stats().dropped);
         assert!(events.iter().all(|e| matches!(e.kind, FaultKind::Drop)));
+    }
+
+    #[test]
+    fn explicit_crossbar_is_byte_identical_to_default() {
+        use crate::topology::TopologyKind;
+        let mut plain = Network::new(MachineConfig::manna(20).with_jitter(0.05), 42);
+        let mut explicit = Network::new(
+            MachineConfig::manna(20)
+                .with_jitter(0.05)
+                .with_topology(TopologyKind::Crossbar),
+            42,
+        );
+        for i in 0..200u32 {
+            let (s, d) = (NodeId(i as u16 % 20), NodeId((i as u16 * 7 + 3) % 20));
+            let a = plain.send_detailed(VirtualTime::ZERO, s, d, 64 + i);
+            let b = explicit.send_detailed(VirtualTime::ZERO, s, d, 64 + i);
+            assert_eq!(a.depart, b.depart);
+            assert_eq!(a.arrive, b.arrive);
+        }
+        assert_eq!(
+            format!("{:?}", plain.stats()),
+            format!("{:?}", explicit.stats())
+        );
+    }
+
+    #[test]
+    fn topologies_change_flight_time() {
+        use crate::topology::TopologyKind;
+        let t0 = VirtualTime::ZERO;
+        let flight_us = |kind: TopologyKind, src: u16, dst: u16| {
+            let mut n = Network::new(MachineConfig::manna(64).with_topology(kind), 1);
+            let d = n.send_detailed(t0, NodeId(src), NodeId(dst), 0);
+            d.arrive.since(d.depart).as_us_f64()
+        };
+        // Crossbar: 0..63 is cross-cluster, 3 hops → 1 + 3*0.5 = 2.5 µs.
+        assert!((flight_us(TopologyKind::Crossbar, 0, 63) - 2.5).abs() < 1e-9);
+        // Hypercube: 0..63 differ in 6 bits → 1 + 6*0.5 = 4 µs.
+        assert!((flight_us(TopologyKind::Hypercube, 0, 63) - 4.0).abs() < 1e-9);
+        // 3D torus (4×4×4): 63 is (3,3,3), one wrap step per ring → 3
+        // hops, 3 rings crossed → contention 3 → 1 + 9*0.5 = 5.5 µs.
+        assert!((flight_us(TopologyKind::Torus3D, 0, 63) - 5.5).abs() < 1e-9);
+        // Fat tree (arity 8, oversub 2): LCA level 2 → 4 hops, contention
+        // 2 → 1 + 8*0.5 = 5 µs.
+        assert!((flight_us(TopologyKind::fat_tree(), 0, 63) - 5.0).abs() < 1e-9);
+        // Same-cluster / same-subcube routes stay short everywhere.
+        for kind in [
+            TopologyKind::Crossbar,
+            TopologyKind::Hypercube,
+            TopologyKind::Torus2D,
+            TopologyKind::Torus3D,
+            TopologyKind::fat_tree(),
+        ] {
+            assert!(
+                flight_us(kind, 0, 1) <= flight_us(kind, 0, 63),
+                "{kind:?}: neighbor flight exceeds far flight"
+            );
+        }
+    }
+
+    #[test]
+    fn network_transfer_time_matches_config() {
+        use crate::topology::TopologyKind;
+        for kind in [
+            TopologyKind::Crossbar,
+            TopologyKind::Hypercube,
+            TopologyKind::Torus2D,
+            TopologyKind::Torus3D,
+            TopologyKind::fat_tree(),
+        ] {
+            let cfg = MachineConfig::manna(40).with_topology(kind);
+            let n = Network::new(cfg.clone(), 1);
+            for s in 0..40u16 {
+                for d in 0..40u16 {
+                    assert_eq!(
+                        n.transfer_time(NodeId(s), NodeId(d), 128),
+                        cfg.transfer_time(NodeId(s), NodeId(d), 128),
+                        "{kind:?} {s}->{d}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

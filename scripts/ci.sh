@@ -37,4 +37,15 @@ echo "== event-queue equivalence (ladder vs reference heap) =="
 cargo test -q --offline -p earth-sim --test queue_diff
 cargo test -q --offline --test ladder_apps
 
+echo "== topology scale smoke (256 nodes, every app x interconnect, byte-identical reruns) =="
+cargo run --release --offline -p earth-bench --bin repro -- scale --smoke --json > /tmp/scale_smoke_a.json
+cargo run --release --offline -p earth-bench --bin repro -- scale --smoke --json > /tmp/scale_smoke_b.json
+cmp /tmp/scale_smoke_a.json /tmp/scale_smoke_b.json
+grep -q '"experiment":"scale"' /tmp/scale_smoke_a.json
+grep -q '"topologies":\["crossbar","hypercube","torus3d","fattree"\]' /tmp/scale_smoke_a.json
+
+echo "== topology scale full (1024 nodes; terminates inside the smoke budget) =="
+cargo run --release --offline -p earth-bench --bin repro -- scale --json > /tmp/scale_full.json
+grep -q '"nodes":\[20,64,256,1024\]' /tmp/scale_full.json
+
 echo "ci.sh: all green"
