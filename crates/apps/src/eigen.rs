@@ -46,9 +46,12 @@ struct EigenState {
 
 /// Argument record layout in parent memory (Table 1's 28 bytes):
 /// `lo: f64 | hi: f64 | count_lo: u32 | count_hi: u32 | depth: u32`.
-const REC_BYTES: u32 = 28;
+/// Public because the traffic plane's eigen-class jobs reuse the same
+/// record-passing idiom (child fetches its arguments from parent memory).
+pub const REC_BYTES: u32 = 28;
 
-fn write_record(ctx: &mut Ctx<'_>, addr: u32, iv: &Interval) {
+/// Serialize an [`Interval`] into the 28-byte record at local `addr`.
+pub fn write_record(ctx: &mut Ctx<'_>, addr: u32, iv: &Interval) {
     let mut bytes = Vec::with_capacity(REC_BYTES as usize);
     bytes.extend_from_slice(&iv.lo.to_le_bytes());
     bytes.extend_from_slice(&iv.hi.to_le_bytes());
@@ -58,7 +61,9 @@ fn write_record(ctx: &mut Ctx<'_>, addr: u32, iv: &Interval) {
     ctx.write_local(addr, &bytes);
 }
 
-fn read_record(ctx: &Ctx<'_>, addr: u32) -> Interval {
+/// Deserialize the 28-byte record at local `addr` (inverse of
+/// [`write_record`]).
+pub fn read_record(ctx: &Ctx<'_>, addr: u32) -> Interval {
     let b = ctx.read_local(addr, REC_BYTES);
     Interval {
         lo: f64::from_le_bytes(b[0..8].try_into().unwrap()),

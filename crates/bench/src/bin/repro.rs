@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--json] [table1|fig2|table2|fig4|fig5|table3|fig7|fig8|ablation|dual|profile|faults|crashes|all]
+//! repro [--quick] [--json] [table1|fig2|table2|fig4|fig5|table3|fig7|fig8|ablation|dual|profile|faults|crashes|scale|traffic|bench|all]
 //! ```
 //!
 //! `--quick` shrinks matrices and seed counts (same shapes, CI speed).
@@ -34,6 +34,13 @@
 //! speedup-vs-nodes curves for all three applications across the four
 //! interconnects, up to 1024 nodes (`--smoke` caps the sweep at 256
 //! nodes). Fixed-seed, so `repro scale --json` is a diffable artifact.
+//!
+//! `traffic` (not part of `all`) runs the traffic-plane sweep: open-loop
+//! mixed-class job streams through the admission/queueing front-end
+//! over an offered-load × machine-size grid, with per-class p50/p95/p99
+//! sojourn digests and lossy + crashed degradation variants (`--smoke`
+//! shrinks the streams to CI size). Fixed-seed, so `repro traffic
+//! --json` is a diffable artifact.
 
 use earth_bench::*;
 
@@ -150,6 +157,15 @@ fn main() {
     if what.contains(&"scale") {
         let smoke = args.iter().any(|a| a == "--smoke");
         let t = if smoke { scale_smoke() } else { scale_table() };
+        println!("{}", if json { t.to_json() } else { t.render() });
+    }
+    if what.contains(&"traffic") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let t = if smoke {
+            traffic_smoke()
+        } else {
+            traffic_table()
+        };
         println!("{}", if json { t.to_json() } else { t.render() });
     }
     if what.contains(&"bench") {

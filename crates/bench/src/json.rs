@@ -285,6 +285,57 @@ impl ScaleTable {
     }
 }
 
+impl crate::traffic_sweep::TrafficTable {
+    /// JSON record. Every value is a pure function of the fixed seeds
+    /// and plans, so the record is byte-identical across invocations.
+    pub fn to_json(&self) -> String {
+        let mut cells = String::from("[");
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                cells.push(',');
+            }
+            let mut classes = String::from("[");
+            for (j, cl) in c.classes.iter().enumerate() {
+                if j > 0 {
+                    classes.push(',');
+                }
+                let _ = write!(
+                    classes,
+                    "{{\"name\":\"{}\",\"jobs\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+                    cl.name,
+                    cl.jobs,
+                    num(cl.p50_us),
+                    num(cl.p95_us),
+                    num(cl.p99_us)
+                );
+            }
+            classes.push(']');
+            let _ = write!(
+                cells,
+                "{{\"variant\":\"{}\",\"offered_per_sec\":{},\"nodes\":{},\"completed\":{},\"makespan_us\":{},\"sojourn_us\":{{\"n\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}},\"classes\":{classes}}}",
+                c.variant,
+                num(c.offered),
+                c.nodes,
+                c.completed,
+                num(c.makespan.as_us_f64()),
+                c.sojourn.n,
+                num(c.sojourn.mean_ns / 1_000.0),
+                num(c.sojourn.p50_ns / 1_000.0),
+                num(c.sojourn.p95_ns / 1_000.0),
+                num(c.sojourn.p99_ns / 1_000.0),
+                num(c.sojourn.max_ns / 1_000.0)
+            );
+        }
+        cells.push(']');
+        format!(
+            "{{\"experiment\":\"traffic\",\"jobs\":{},\"loads_per_sec\":{},\"nodes\":{},\"cells\":{cells}}}",
+            self.jobs,
+            series(&self.loads),
+            nodes_list(&self.nodes)
+        )
+    }
+}
+
 impl CommsAblation {
     /// JSON record.
     pub fn to_json(&self) -> String {

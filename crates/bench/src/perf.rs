@@ -182,6 +182,28 @@ pub fn run_sweeps(smoke: bool) -> Vec<SweepResult> {
         run_neural_profiled(units, nn, samples, 21, mode, shape).report
     }));
 
+    // -- Traffic plane ---------------------------------------------------
+    // A 20-node mixed-class open-loop stream at low and high offered
+    // load, plus the high-load stream with a mid-run crash + restart:
+    // the admission front-end, the class bodies, and recovery replay
+    // all sit on this wall-clock path.
+    let (tjobs, tn) = if smoke { (24, 8) } else { (96, 20) };
+    let t_low = earth_traffic::TrafficPlan::new(11)
+        .with_jobs(tjobs)
+        .with_offered_load(1_000.0);
+    let t_high = t_low.clone().with_offered_load(8_000.0);
+    out.push(measure("traffic_low", tn, reps, || {
+        earth_traffic::run_traffic(&t_low, tn, 42).report
+    }));
+    out.push(measure("traffic_high", tn, reps, || {
+        earth_traffic::run_traffic(&t_high, tn, 42).report
+    }));
+    let tdown = VirtualTime::from_ns(2_000_000);
+    let tup = tdown + VirtualDuration::from_us(3_000);
+    out.push(measure("traffic_crashed", tn, reps, || {
+        earth_traffic::run_traffic_crashed(&t_high, tn, 42, 3, tdown, Some(tup)).report
+    }));
+
     // -- Topology scale points ------------------------------------------
     // One 256-node Gröbner run per interconnect: the scan-free hot paths
     // are what make this size affordable, so a regression shows up here

@@ -91,6 +91,16 @@ impl<'a> Ctx<'a> {
         self.rt.marks.push((label.to_string(), at));
     }
 
+    /// Report completion of admitted traffic-plane job `job` to the
+    /// admission front-end: its lifecycle record closes at the current
+    /// virtual instant and the freed concurrency slot admits the next
+    /// waiting job. Panics if no traffic plan is installed or the job is
+    /// not in flight (an application protocol bug).
+    pub fn job_done(&mut self, job: u32) {
+        let at = self.now();
+        self.rt.traffic_job_done(at, job);
+    }
+
     // ---- frame & sync slots ----------------------------------------------
 
     /// A globally valid reference to `slot` of this frame.

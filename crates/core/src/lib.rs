@@ -81,6 +81,7 @@ pub(crate) mod reli;
 pub mod report;
 pub mod runtime;
 pub mod trace;
+pub mod traffic;
 
 pub use addr::{FrameId, GlobalAddr, SlotId, SlotRef, ThreadId};
 pub use args::{ArgsReader, ArgsWriter};
@@ -92,5 +93,6 @@ pub use profile::{ClassCost, NodeProfile, RunProfile};
 pub use report::{NodeStats, RunReport};
 pub use runtime::Runtime;
 pub use trace::{Activity, Span, Trace};
+pub use traffic::{Discipline, JobArrival, JobRecord, TrafficReport};
 
 pub use earth_machine::NodeId;

@@ -280,6 +280,7 @@ mod tests {
             leftover_tokens: 0,
             live_frames: 0,
             peak_queue_depth: 0,
+            traffic: None,
         };
         (profile, report)
     }

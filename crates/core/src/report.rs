@@ -1,5 +1,6 @@
 //! Run reports: what a completed simulation tells the experimenter.
 
+use crate::traffic::TrafficReport;
 use earth_sim::{VirtualDuration, VirtualTime};
 use std::fmt;
 
@@ -86,6 +87,10 @@ pub struct RunReport {
     /// observation: identical across queue implementations, and absent
     /// from `Display` so report goldens are unaffected.
     pub peak_queue_depth: u64,
+    /// Traffic-plane lifecycle accounting — `Some` exactly when a
+    /// non-empty traffic plan was installed (batch runs stay `None` and
+    /// render identically to before the plane existed).
+    pub traffic: Option<TrafficReport>,
 }
 
 impl RunReport {
@@ -168,6 +173,14 @@ impl RunReport {
             && self.live_frames == 0
             && self.nodes.iter().all(|n| n.dropped_signals == 0)
     }
+
+    /// True when a traffic plan was installed and every job that arrived
+    /// also completed — the serving-plane analogue of [`Self::is_clean`].
+    pub fn traffic_drained(&self) -> bool {
+        self.traffic
+            .as_ref()
+            .is_some_and(|t| t.arrived == t.completed && t.is_conserved())
+    }
 }
 
 impl fmt::Display for RunReport {
@@ -209,6 +222,20 @@ impl fmt::Display for RunReport {
                 self.total_downtime()
             )?;
         }
+        // The traffic line exists only when a plan was installed, so
+        // batch runs render byte-identically to the pre-traffic format.
+        if let Some(t) = &self.traffic {
+            writeln!(
+                f,
+                "traffic: {}  arrived {}  admitted {}  completed {}  in-flight {}  queued {}",
+                t.discipline,
+                t.arrived,
+                t.admitted,
+                t.completed,
+                t.in_flight(),
+                t.queued()
+            )?;
+        }
         Ok(())
     }
 }
@@ -244,6 +271,7 @@ mod tests {
             leftover_tokens: 0,
             live_frames: 0,
             peak_queue_depth: 7,
+            traffic: None,
         }
     }
 
@@ -303,6 +331,32 @@ mod tests {
         assert_eq!(r.total_downtime(), VirtualDuration::from_us(900));
         assert!(r.had_crashes());
         assert!(r.is_clean(), "crash counters do not dirty a run");
+    }
+
+    #[test]
+    fn display_mentions_traffic_only_when_a_plan_ran() {
+        use crate::traffic::Discipline;
+        let clean = format!("{}", report());
+        assert!(!clean.contains("traffic"), "{clean}");
+        let mut r = report();
+        r.traffic = Some(TrafficReport {
+            discipline: Discipline::Fifo,
+            concurrency: 4,
+            arrived: 10,
+            admitted: 8,
+            completed: 7,
+            jobs: Vec::new(),
+        });
+        let s = format!("{r}");
+        assert!(s.starts_with(&clean), "base line must stay identical");
+        assert!(s.contains("traffic: fifo"), "{s}");
+        assert!(s.contains("arrived 10"), "{s}");
+        assert!(s.contains("in-flight 1"), "{s}");
+        assert!(s.contains("queued 2"), "{s}");
+        assert!(!r.traffic_drained(), "three jobs still outstanding");
+        r.traffic.as_mut().unwrap().admitted = 10;
+        r.traffic.as_mut().unwrap().completed = 10;
+        assert!(r.traffic_drained());
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::recover::{Health, RecoverState};
 use crate::reli::{Envelope, Pending, ReliLayer, ACK_WIRE, ENV_BYTES};
 use crate::report::RunReport;
 use crate::trace::{Activity, Span, Trace};
+use crate::traffic::{Discipline, JobArrival, TrafficState};
 use earth_machine::{MachineConfig, NetFate, Network, NodeId, OpClass};
 use earth_sim::{Rng, SimQueue, VirtualDuration, VirtualTime};
 
@@ -59,6 +60,16 @@ pub(crate) enum Event {
         monitor: NodeId,
         sent: VirtualTime,
     },
+    /// Job `k` of the installed traffic plan reaches the admission
+    /// front-end (traffic plans only; armed at install like the crash
+    /// plane, so arrival instants are fixed before execution starts).
+    JobArrive(u32),
+    /// Job `k` reported completion via [`crate::Ctx::job_done`]. A
+    /// scheduled event — not an immediate mutation — because the
+    /// reporting thread runs to completion in host order ahead of
+    /// virtual time: the freed slot must not admit anyone until the
+    /// completion instant actually arrives (traffic plans only).
+    JobDone(u32),
 }
 
 type Ctor = Box<dyn Fn(&mut ArgsReader<'_>) -> Box<dyn ThreadedFn>>;
@@ -88,6 +99,9 @@ pub struct Runtime {
     /// schedules crash windows; every other run (fault plan or not)
     /// never allocates a detector, checkpoint, or recovery structure.
     recover: Option<RecoverState>,
+    /// Admission front-end — `Some` exactly when a non-empty traffic
+    /// plan is installed; plain batch runs never touch it.
+    traffic: Option<TrafficState>,
     /// Longest message/thread dependency chain observed so far. Tracked
     /// unconditionally: it is a pure observation and costs no virtual time.
     max_cp: VirtualDuration,
@@ -142,6 +156,7 @@ impl Runtime {
             net,
             reli,
             recover,
+            traffic: None,
             events,
             funcs: Vec::new(),
             global_tokens: 0,
@@ -305,6 +320,106 @@ impl Runtime {
         );
     }
 
+    /// Install a traffic plan: `jobs` arrive at their scheduled instants
+    /// and are admitted up to `concurrency` at a time under `discipline`.
+    /// Each admitted job's root token is launched on its (live) home node;
+    /// the job must report back with [`Ctx::job_done`] when finished.
+    ///
+    /// Arrival events are armed here, before the first event pops — the
+    /// same pattern as the crash plane — so the stream is fixed up front.
+    /// Installing an empty arrival list is a no-op: the runtime stays
+    /// byte-identical to one with no traffic plane at all.
+    pub fn install_traffic(
+        &mut self,
+        jobs: Vec<JobArrival>,
+        concurrency: u32,
+        discipline: Discipline,
+    ) {
+        assert!(
+            self.traffic.is_none(),
+            "a traffic plan is already installed"
+        );
+        if jobs.is_empty() {
+            return;
+        }
+        for (k, j) in jobs.iter().enumerate() {
+            self.events.push(j.arrive, Event::JobArrive(k as u32));
+        }
+        self.traffic = Some(TrafficState::new(jobs, concurrency, discipline));
+    }
+
+    /// Job `k` reaches the front door at `t`: record the arrival and admit
+    /// as far as the concurrency limit allows.
+    fn job_arrive(&mut self, t: VirtualTime, k: u32) {
+        self.traffic
+            .as_mut()
+            .expect("JobArrive event without a traffic plan")
+            .arrive(k);
+        self.admit_ready(t);
+    }
+
+    /// Admit waiting jobs while the concurrency limit has room. Launching
+    /// a job is pure control plane: it pushes the same zero-latency token
+    /// delivery as [`Runtime::inject_token_on`], consuming no fault fates
+    /// and no node randomness — so the traffic plane cannot perturb the
+    /// fault/crash planes' streams.
+    fn admit_ready(&mut self, t: VirtualTime) {
+        loop {
+            let Some(st) = self.traffic.as_mut() else {
+                return;
+            };
+            if !st.can_admit() {
+                return;
+            }
+            let k = st.pick_next();
+            st.records[k as usize].admit = Some(t);
+            let j = &st.jobs[k as usize];
+            let (home, func, args) = (j.home, j.func, j.args.clone());
+            // Never hand a root token to a node that is down: its NIC
+            // would drop the unreliable delivery and strand the job. Walk
+            // to the next live node (deterministic given the plans).
+            let home = self.live_home(home);
+            self.global_tokens += 1;
+            self.events.push(
+                t,
+                Event::Deliver(home, Msg::Token { func, args }, VirtualDuration::ZERO, None),
+            );
+        }
+    }
+
+    /// `home`, or the next node (ascending, wrapping) that is not crashed.
+    fn live_home(&self, home: NodeId) -> NodeId {
+        let Some(rec) = self.recover.as_ref() else {
+            return home;
+        };
+        let n = self.nodes.len();
+        (0..n)
+            .map(|step| NodeId(((home.index() + step) % n) as u16))
+            .find(|&cand| !rec.is_down(cand))
+            .unwrap_or(home)
+    }
+
+    /// [`Ctx::job_done`] landing point: schedule the completion at the
+    /// reporting thread's virtual instant. The assertion that the job is
+    /// actually in flight happens when the event fires.
+    pub(crate) fn traffic_job_done(&mut self, at: VirtualTime, job: u32) {
+        assert!(
+            self.traffic.is_some(),
+            "Ctx::job_done without a traffic plan"
+        );
+        self.events.push(at, Event::JobDone(job));
+    }
+
+    /// An admitted job's completion instant arrived: close its record and
+    /// admit the next waiting job into the freed slot.
+    fn job_done_at(&mut self, t: VirtualTime, job: u32) {
+        self.traffic
+            .as_mut()
+            .expect("JobDone event without a traffic plan")
+            .complete(t, job);
+        self.admit_ready(t);
+    }
+
     /// Run to quiescence and report.
     pub fn run(&mut self) -> RunReport {
         while let Some((t, ev)) = self.events.pop() {
@@ -323,6 +438,8 @@ impl Runtime {
                 Event::ProbeTick => self.probe_tick(t),
                 Event::CkptTick => self.ckpt_tick(t),
                 Event::DetectCheck { monitor, sent } => self.detect_check(t, monitor, sent),
+                Event::JobArrive(k) => self.job_arrive(t, k),
+                Event::JobDone(k) => self.job_done_at(t, k),
             }
         }
         self.report()
@@ -345,6 +462,7 @@ impl Runtime {
             leftover_tokens: self.global_tokens,
             live_frames: self.nodes.iter().map(|n| n.frames.live as u64).sum(),
             peak_queue_depth: self.events.peak_len() as u64,
+            traffic: self.traffic.as_ref().map(TrafficState::report),
         }
     }
 

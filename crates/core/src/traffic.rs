@@ -1,0 +1,522 @@
+//! Admission/queueing front-end: the runtime half of the traffic plane.
+//!
+//! The paper runs one batch job per machine; a serving system instead sees
+//! an *open-loop stream* of independent jobs. This module gives the
+//! runtime a front door for such a stream while knowing nothing about how
+//! it was generated: a [`JobArrival`] is just "at virtual instant `t`, a
+//! root token of function `func` with `args` wants to start near `home`".
+//! The workload generator (`crates/traffic`) compiles its seeded arrival
+//! process down to these records and installs them with
+//! [`crate::Runtime::install_traffic`].
+//!
+//! The front-end enqueues arrivals, admits up to a concurrency limit under
+//! a pluggable [`Discipline`], launches each admitted job's root token,
+//! and records the full lifecycle (arrived → admitted → completed) in
+//! virtual time. Like every optional plane before it (trace, profile,
+//! faults, crashes) it is **provably absent when unused**: the state is
+//! `Option`-gated on the runtime, installing an empty arrival list is a
+//! no-op, and no hot path touches it — a run with no plan is byte-identical
+//! to one built before this module existed.
+//!
+//! Two properties matter for determinism:
+//!
+//! * Arrival fates are fixed at install time (the generator draws them
+//!   from a counter-based stream), so execution interleaving can never
+//!   perturb what arrives when — the fault-plane template.
+//! * Admission itself is zero-cost control plane: launching a job pushes
+//!   the same t=0-style token-delivery event as
+//!   [`crate::Runtime::inject_token_on`], drawing no fault fates and no
+//!   node randomness, so a traffic plan composes with fault and crash
+//!   plans without shifting their streams.
+
+use crate::msg::FuncId;
+use crate::payload::Payload;
+use earth_machine::NodeId;
+use earth_sim::{VirtualDuration, VirtualTime};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Queueing discipline for jobs waiting at the admission front-end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Discipline {
+    /// First-come first-served in arrival order (the default).
+    Fifo,
+    /// Per-tenant fair share: admit the waiting job whose tenant has been
+    /// admitted least often so far; FIFO within a tenant and on ties.
+    /// This is max-min fairness in admission slots — a tenant flooding
+    /// the queue cannot starve the others.
+    FairShare,
+}
+
+impl fmt::Display for Discipline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Discipline::Fifo => write!(f, "fifo"),
+            Discipline::FairShare => write!(f, "fair_share"),
+        }
+    }
+}
+
+/// One job scheduled to arrive at the front-end: everything the runtime
+/// needs to launch it, fixed before the simulation starts.
+#[derive(Clone, Debug)]
+pub struct JobArrival {
+    /// Workload-defined class tag (e.g. eigen / Gröbner / neural / search).
+    pub class: u8,
+    /// Tenant this job bills to (drives [`Discipline::FairShare`]).
+    pub tenant: u16,
+    /// Virtual instant the job arrives at the front door.
+    pub arrive: VirtualTime,
+    /// Seeded home node: where the root token is first placed (the load
+    /// balancer spreads its descendants from there).
+    pub home: NodeId,
+    /// Root threaded function of the job.
+    pub func: FuncId,
+    /// Arguments for the root token.
+    pub args: Payload,
+}
+
+/// Lifecycle record of one job, in virtual time. `admit`/`complete` are
+/// `None` while the job is still queued / in flight; at quiescence of a
+/// finite plan every record is fully populated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Index of the job in the installed arrival list.
+    pub job: u32,
+    /// Class tag copied from the arrival.
+    pub class: u8,
+    /// Tenant copied from the arrival.
+    pub tenant: u16,
+    /// Arrival instant.
+    pub arrive: VirtualTime,
+    /// Admission instant (None while queued).
+    pub admit: Option<VirtualTime>,
+    /// Completion instant (None while queued or in flight).
+    pub complete: Option<VirtualTime>,
+}
+
+impl JobRecord {
+    /// Time spent waiting in the admission queue.
+    pub fn queue_wait(&self) -> Option<VirtualDuration> {
+        self.admit.map(|a| a.since(self.arrive))
+    }
+
+    /// Time from admission to completion (the job's service time as the
+    /// cluster experienced it, including any contention inside).
+    pub fn service(&self) -> Option<VirtualDuration> {
+        match (self.admit, self.complete) {
+            (Some(a), Some(c)) => Some(c.since(a)),
+            _ => None,
+        }
+    }
+
+    /// End-to-end sojourn: arrival to completion — the latency a client
+    /// would observe, and the quantity the p50/p95/p99 summaries digest.
+    pub fn sojourn(&self) -> Option<VirtualDuration> {
+        self.complete.map(|c| c.since(self.arrive))
+    }
+}
+
+/// The traffic plane's slice of a [`crate::RunReport`]: lifecycle counters
+/// plus the per-job records the latency summaries are computed from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrafficReport {
+    /// Discipline the front-end ran under.
+    pub discipline: Discipline,
+    /// Concurrency limit (jobs admitted but not yet completed).
+    pub concurrency: u32,
+    /// Jobs that reached the front door.
+    pub arrived: u64,
+    /// Jobs admitted (their root token launched).
+    pub admitted: u64,
+    /// Jobs that reported completion.
+    pub completed: u64,
+    /// Per-job lifecycle records, in arrival-list order.
+    pub jobs: Vec<JobRecord>,
+}
+
+impl TrafficReport {
+    /// Jobs admitted but not yet completed.
+    pub fn in_flight(&self) -> u64 {
+        self.admitted - self.completed
+    }
+
+    /// Jobs still waiting in the admission queue.
+    pub fn queued(&self) -> u64 {
+        self.arrived - self.admitted
+    }
+
+    /// Conservation check: every arrival is accounted for as completed,
+    /// in flight, or still queued. Holds at every instant by construction;
+    /// the property tests assert it at quiescence with `queued == 0`.
+    pub fn is_conserved(&self) -> bool {
+        self.arrived == self.completed + self.in_flight() + self.queued()
+    }
+
+    /// Sorted sojourn times in microseconds of all completed jobs of
+    /// `class` (`None` selects every class) — ready for nearest-rank
+    /// percentile digestion.
+    pub fn sojourns_us(&self, class: Option<u8>) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|r| class.is_none_or(|c| r.class == c))
+            .filter_map(|r| r.sojourn())
+            .map(|d| d.as_us_f64())
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite sojourns"));
+        v
+    }
+}
+
+/// Live state of the admission front-end; `Some` on the runtime exactly
+/// when a non-empty arrival list is installed.
+pub(crate) struct TrafficState {
+    /// The installed plan, immutable after install.
+    pub(crate) jobs: Vec<JobArrival>,
+    /// Lifecycle records, parallel to `jobs`.
+    pub(crate) records: Vec<JobRecord>,
+    /// Waiting jobs in arrival order.
+    waiting: VecDeque<u32>,
+    /// Admission counts per tenant (fair-share bookkeeping).
+    tenant_admitted: Vec<u64>,
+    /// Jobs admitted but not yet completed.
+    in_flight: u32,
+    pub(crate) concurrency: u32,
+    pub(crate) discipline: Discipline,
+    pub(crate) arrived: u64,
+    pub(crate) admitted: u64,
+    pub(crate) completed: u64,
+}
+
+impl TrafficState {
+    pub(crate) fn new(jobs: Vec<JobArrival>, concurrency: u32, discipline: Discipline) -> Self {
+        assert!(concurrency >= 1, "traffic concurrency limit must be >= 1");
+        let tenants = jobs
+            .iter()
+            .map(|j| j.tenant as usize + 1)
+            .max()
+            .unwrap_or(1);
+        let records = jobs
+            .iter()
+            .enumerate()
+            .map(|(k, j)| JobRecord {
+                job: k as u32,
+                class: j.class,
+                tenant: j.tenant,
+                arrive: j.arrive,
+                admit: None,
+                complete: None,
+            })
+            .collect();
+        TrafficState {
+            records,
+            waiting: VecDeque::with_capacity(jobs.len().min(1024)),
+            tenant_admitted: vec![0; tenants],
+            in_flight: 0,
+            concurrency,
+            discipline,
+            arrived: 0,
+            admitted: 0,
+            completed: 0,
+            jobs,
+        }
+    }
+
+    /// A job reached the front door; it joins the waiting set.
+    pub(crate) fn arrive(&mut self, k: u32) {
+        self.arrived += 1;
+        self.waiting.push_back(k);
+    }
+
+    /// True when the concurrency limit has room and someone is waiting.
+    pub(crate) fn can_admit(&self) -> bool {
+        self.in_flight < self.concurrency && !self.waiting.is_empty()
+    }
+
+    /// Remove and return the next job to admit under the discipline.
+    /// Callers must have checked [`Self::can_admit`].
+    pub(crate) fn pick_next(&mut self) -> u32 {
+        let pos = match self.discipline {
+            Discipline::Fifo => 0,
+            Discipline::FairShare => {
+                // Least-admitted tenant wins; the scan is in queue order,
+                // so ties keep FIFO. Queues are bounded by the concurrency
+                // backlog, far below anything a scan would hurt.
+                let mut best = 0usize;
+                let mut best_count = u64::MAX;
+                for (pos, &k) in self.waiting.iter().enumerate() {
+                    let count = self.tenant_admitted[self.jobs[k as usize].tenant as usize];
+                    if count < best_count {
+                        best = pos;
+                        best_count = count;
+                    }
+                }
+                best
+            }
+        };
+        let k = self.waiting.remove(pos).expect("pick_next on empty queue");
+        self.tenant_admitted[self.jobs[k as usize].tenant as usize] += 1;
+        self.in_flight += 1;
+        self.admitted += 1;
+        k
+    }
+
+    /// An admitted job reported completion at `t`.
+    pub(crate) fn complete(&mut self, t: VirtualTime, job: u32) {
+        let rec = &mut self.records[job as usize];
+        assert!(
+            rec.admit.is_some() && rec.complete.is_none(),
+            "job_done({job}) but the job is not in flight"
+        );
+        rec.complete = Some(t);
+        self.completed += 1;
+        self.in_flight -= 1;
+    }
+
+    pub(crate) fn report(&self) -> TrafficReport {
+        TrafficReport {
+            discipline: self.discipline,
+            concurrency: self.concurrency,
+            arrived: self.arrived,
+            admitted: self.admitted,
+            completed: self.completed,
+            jobs: self.records.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrival(tenant: u16, at_us: u64) -> JobArrival {
+        JobArrival {
+            class: 0,
+            tenant,
+            arrive: VirtualTime::ZERO + VirtualDuration::from_us(at_us),
+            home: NodeId(0),
+            func: FuncId(0),
+            args: Payload::empty(),
+        }
+    }
+
+    fn admit_next(st: &mut TrafficState, t_us: u64) -> u32 {
+        assert!(st.can_admit());
+        let k = st.pick_next();
+        st.records[k as usize].admit = Some(VirtualTime::ZERO + VirtualDuration::from_us(t_us));
+        k
+    }
+
+    #[test]
+    fn fifo_admits_in_arrival_order() {
+        let jobs = vec![arrival(1, 0), arrival(1, 1), arrival(0, 2)];
+        let mut st = TrafficState::new(jobs, 1, Discipline::Fifo);
+        for k in 0..3 {
+            st.arrive(k);
+        }
+        assert_eq!(admit_next(&mut st, 10), 0);
+        st.complete(VirtualTime::ZERO + VirtualDuration::from_us(20), 0);
+        assert_eq!(admit_next(&mut st, 20), 1);
+        st.complete(VirtualTime::ZERO + VirtualDuration::from_us(30), 1);
+        assert_eq!(admit_next(&mut st, 30), 2);
+    }
+
+    #[test]
+    fn fair_share_interleaves_tenants() {
+        // Tenant 0 floods three jobs before tenant 1's single job; fair
+        // share admits tenant 1 second, not last.
+        let jobs = vec![arrival(0, 0), arrival(0, 1), arrival(0, 2), arrival(1, 3)];
+        let mut st = TrafficState::new(jobs, 1, Discipline::FairShare);
+        for k in 0..4 {
+            st.arrive(k);
+        }
+        assert_eq!(admit_next(&mut st, 10), 0, "all zero: FIFO tie-break");
+        st.complete(VirtualTime::ZERO + VirtualDuration::from_us(11), 0);
+        assert_eq!(admit_next(&mut st, 11), 3, "tenant 1 never served yet");
+        st.complete(VirtualTime::ZERO + VirtualDuration::from_us(12), 3);
+        assert_eq!(admit_next(&mut st, 12), 1);
+        st.complete(VirtualTime::ZERO + VirtualDuration::from_us(13), 1);
+        assert_eq!(admit_next(&mut st, 13), 2);
+    }
+
+    #[test]
+    fn concurrency_limit_gates_admission() {
+        let jobs = vec![arrival(0, 0), arrival(0, 0), arrival(0, 0)];
+        let mut st = TrafficState::new(jobs, 2, Discipline::Fifo);
+        for k in 0..3 {
+            st.arrive(k);
+        }
+        admit_next(&mut st, 5);
+        admit_next(&mut st, 5);
+        assert!(!st.can_admit(), "limit 2 reached");
+        st.complete(VirtualTime::ZERO + VirtualDuration::from_us(9), 1);
+        assert!(st.can_admit(), "completion frees a slot");
+    }
+
+    #[test]
+    fn record_durations_decompose_sojourn() {
+        let mut rec = JobRecord {
+            job: 0,
+            class: 2,
+            tenant: 0,
+            arrive: VirtualTime::ZERO + VirtualDuration::from_us(100),
+            admit: None,
+            complete: None,
+        };
+        assert_eq!(rec.queue_wait(), None);
+        assert_eq!(rec.sojourn(), None);
+        rec.admit = Some(VirtualTime::ZERO + VirtualDuration::from_us(150));
+        rec.complete = Some(VirtualTime::ZERO + VirtualDuration::from_us(400));
+        assert_eq!(rec.queue_wait(), Some(VirtualDuration::from_us(50)));
+        assert_eq!(rec.service(), Some(VirtualDuration::from_us(250)));
+        assert_eq!(rec.sojourn(), Some(VirtualDuration::from_us(300)));
+    }
+
+    mod through_the_runtime {
+        use super::*;
+        use crate::addr::ThreadId;
+        use crate::args::{ArgsReader, ArgsWriter};
+        use crate::ctx::Ctx;
+        use crate::frame::ThreadedFn;
+        use crate::runtime::Runtime;
+        use earth_machine::MachineConfig;
+
+        /// One-thread job body: burn `us`, then report done.
+        struct JobBody {
+            job: u32,
+            us: u64,
+        }
+
+        impl ThreadedFn for JobBody {
+            fn run(&mut self, ctx: &mut Ctx<'_>, _tid: ThreadId) {
+                ctx.compute(VirtualDuration::from_us(self.us));
+                ctx.job_done(self.job);
+                ctx.end();
+            }
+        }
+
+        fn rt_with_plan(every_us: u64, service_us: u64, n: u32, conc: u32) -> Runtime {
+            let mut rt = Runtime::new(MachineConfig::manna(4), 7);
+            let func = rt.register("job-body", |a: &mut ArgsReader<'_>| {
+                Box::new(JobBody {
+                    job: a.u32(),
+                    us: a.u64(),
+                })
+            });
+            let jobs = (0..n)
+                .map(|k| {
+                    let mut a = ArgsWriter::new();
+                    a.u32(k);
+                    a.u64(service_us);
+                    JobArrival {
+                        class: (k % 2) as u8,
+                        tenant: (k % 3) as u16,
+                        arrive: VirtualTime::ZERO + VirtualDuration::from_us(every_us * k as u64),
+                        home: NodeId((k % 4) as u16),
+                        func,
+                        args: a.finish(),
+                    }
+                })
+                .collect();
+            rt.install_traffic(jobs, conc, Discipline::Fifo);
+            rt
+        }
+
+        #[test]
+        fn overloaded_front_end_serializes_and_drains() {
+            // Jobs of 300us arrive every 100us under concurrency 1: the
+            // queue builds, admissions serialize behind completions, and
+            // the run still drains every job.
+            let mut rt = rt_with_plan(100, 300, 6, 1);
+            let report = rt.run();
+            assert!(report.is_clean(), "{report}");
+            assert!(report.traffic_drained(), "{report}");
+            let t = report.traffic.as_ref().unwrap();
+            assert_eq!((t.arrived, t.admitted, t.completed), (6, 6, 6));
+            let mut prev_complete = VirtualTime::ZERO;
+            for rec in &t.jobs {
+                let admit = rec.admit.expect("admitted");
+                let complete = rec.complete.expect("completed");
+                assert!(admit >= rec.arrive, "admission before arrival");
+                assert!(complete > admit, "zero-time job");
+                assert!(
+                    admit >= prev_complete,
+                    "concurrency 1 must serialize admissions"
+                );
+                prev_complete = complete;
+            }
+            // Under overload the later jobs' waits dominate their sojourn.
+            let last = &t.jobs[5];
+            assert!(last.queue_wait().unwrap() > last.service().unwrap());
+        }
+
+        #[test]
+        fn wide_concurrency_admits_on_arrival() {
+            let mut rt = rt_with_plan(100, 300, 6, 16);
+            let report = rt.run();
+            assert!(report.traffic_drained(), "{report}");
+            let t = report.traffic.as_ref().unwrap();
+            for rec in &t.jobs {
+                assert_eq!(rec.admit, Some(rec.arrive), "no queueing below the limit");
+            }
+        }
+
+        #[test]
+        fn empty_plan_is_byte_identical_to_no_plan() {
+            let run = |install_empty: bool| {
+                let mut rt = Runtime::new(MachineConfig::manna(4), 7);
+                let func = rt.register("job-body", |a: &mut ArgsReader<'_>| {
+                    Box::new(JobBody {
+                        job: a.u32(),
+                        us: a.u64(),
+                    })
+                });
+                if install_empty {
+                    rt.install_traffic(Vec::new(), 8, Discipline::FairShare);
+                }
+                // A plain batch token, reported via mark not job_done —
+                // there is no front-end to report to.
+                struct Batch;
+                impl ThreadedFn for Batch {
+                    fn run(&mut self, ctx: &mut Ctx<'_>, _tid: ThreadId) {
+                        ctx.compute(VirtualDuration::from_us(50));
+                        ctx.end();
+                    }
+                }
+                let _ = func;
+                let batch = rt.register("batch", |_: &mut ArgsReader<'_>| Box::new(Batch));
+                for _ in 0..8 {
+                    rt.inject_token(batch, Payload::empty());
+                }
+                rt.run()
+            };
+            let without = run(false);
+            let with = run(true);
+            assert_eq!(format!("{without:?}"), format!("{with:?}"));
+            assert_eq!(format!("{without}"), format!("{with}"));
+            assert!(with.traffic.is_none(), "empty plan must normalize away");
+        }
+    }
+
+    #[test]
+    fn report_counters_conserve() {
+        let jobs = vec![arrival(0, 0), arrival(0, 1), arrival(0, 2)];
+        let mut st = TrafficState::new(jobs, 1, Discipline::Fifo);
+        for k in 0..3 {
+            st.arrive(k);
+        }
+        let k = admit_next(&mut st, 5);
+        let r = st.report();
+        assert_eq!((r.arrived, r.admitted, r.completed), (3, 1, 0));
+        assert_eq!(r.in_flight(), 1);
+        assert_eq!(r.queued(), 2);
+        assert!(r.is_conserved());
+        st.complete(VirtualTime::ZERO + VirtualDuration::from_us(9), k);
+        let r = st.report();
+        assert_eq!(r.completed, 1);
+        assert!(r.is_conserved());
+        assert_eq!(r.sojourns_us(None), vec![9.0]);
+        assert!(r.sojourns_us(Some(7)).is_empty());
+    }
+}

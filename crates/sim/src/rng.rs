@@ -22,6 +22,45 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One word of a counter-based random stream: a pure function of
+/// `(seed, lane, k)`, so decision `k` on lane `lane` is the same no matter
+/// when — or whether — the other decisions are drawn. This is the same
+/// template as the fault plane's fate stream: consumers that must not
+/// perturb each other (arrival processes, fault fates) address their
+/// randomness by counter instead of sharing a stateful generator.
+#[inline]
+pub fn stream_word(seed: u64, lane: u64, k: u64) -> u64 {
+    let mut s =
+        seed ^ lane.wrapping_mul(0xA24B_AED4_963E_E407) ^ k.wrapping_mul(0x9FB2_1C65_1E98_DF25);
+    let a = splitmix64(&mut s);
+    splitmix64(&mut s) ^ a.rotate_left(23)
+}
+
+/// Map a raw 64-bit word to a uniform float in `[0, 1)` with 53 bits of
+/// precision — the counter-stream counterpart of [`Rng::gen_f64`].
+#[inline]
+pub fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Bounded-Pareto inverse CDF: map a uniform `u ∈ [0, 1)` to a
+/// heavy-tailed size in `[lo, hi]` with tail index `alpha`.
+///
+/// The bounded Pareto is the standard model for job-size distributions in
+/// serving systems ("many small requests, a few huge ones"): mass
+/// concentrates near `lo`, while the truncation at `hi` keeps every draw —
+/// and therefore every simulated run — finite. Being a pure function of
+/// `u`, it composes with [`stream_word`] for counter-addressed sampling.
+#[inline]
+pub fn bounded_pareto(u: f64, alpha: f64, lo: f64, hi: f64) -> f64 {
+    assert!(alpha > 0.0, "bounded_pareto requires alpha > 0");
+    assert!(lo > 0.0 && hi >= lo, "bounded_pareto requires 0 < lo <= hi");
+    let ratio = (lo / hi).powf(alpha);
+    let x = lo / (1.0 - u * (1.0 - ratio)).powf(1.0 / alpha);
+    // Clamp away the float dust at the u -> 1 edge.
+    x.clamp(lo, hi)
+}
+
 impl Rng {
     /// Create a generator from a 64-bit seed. Distinct seeds yield
     /// independent-looking streams; the all-zero internal state is
@@ -110,6 +149,13 @@ impl Rng {
         }
     }
 
+    /// Bounded-Pareto draw in `[lo, hi]` with tail index `alpha` — the
+    /// stateful counterpart of [`bounded_pareto`].
+    #[inline]
+    pub fn gen_bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
+        bounded_pareto(self.gen_f64(), alpha, lo, hi)
+    }
+
     /// Pick a uniformly random element, or `None` for an empty slice.
     pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
         if items.is_empty() {
@@ -190,6 +236,80 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
         assert_ne!(v, sorted, "shuffle of 100 elements should move something");
+    }
+
+    #[test]
+    fn stream_word_is_a_pure_function() {
+        assert_eq!(stream_word(42, 3, 17), stream_word(42, 3, 17));
+        // Any single coordinate change moves the word.
+        assert_ne!(stream_word(42, 3, 17), stream_word(43, 3, 17));
+        assert_ne!(stream_word(42, 3, 17), stream_word(42, 4, 17));
+        assert_ne!(stream_word(42, 3, 17), stream_word(42, 3, 18));
+    }
+
+    #[test]
+    fn stream_word_lanes_do_not_track_each_other() {
+        let same = (0..256)
+            .filter(|&k| stream_word(9, 0, k) == stream_word(9, 1, k))
+            .count();
+        assert!(same < 4, "lanes should be independent, {same} collisions");
+    }
+
+    #[test]
+    fn bounded_pareto_pins_min_and_max() {
+        // u = 0 is exactly the lower bound; u -> 1 approaches the upper.
+        assert_eq!(bounded_pareto(0.0, 1.5, 2.0, 64.0), 2.0);
+        let near_one = 1.0 - 1e-15;
+        let top = bounded_pareto(near_one, 1.5, 2.0, 64.0);
+        assert!(
+            top <= 64.0 && top > 60.0,
+            "u->1 should approach hi, got {top}"
+        );
+        // Every counter-addressed draw stays inside [lo, hi].
+        for k in 0..10_000u64 {
+            let u = unit_f64(stream_word(7, 0, k));
+            let x = bounded_pareto(u, 1.3, 4.0, 256.0);
+            assert!((4.0..=256.0).contains(&x), "draw {x} escaped [4, 256]");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_degenerate_interval_is_constant() {
+        for k in 0..100u64 {
+            let u = unit_f64(stream_word(1, 0, k));
+            assert_eq!(bounded_pareto(u, 2.0, 8.0, 8.0), 8.0);
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_seeded_mean_matches_analytic() {
+        // E[X] for the bounded Pareto with alpha != 1:
+        //   lo^a / (1 - (lo/hi)^a) * a/(a-1) * (lo^(1-a) - hi^(1-a))
+        let (alpha, lo, hi) = (1.5f64, 2.0f64, 200.0f64);
+        let ratio = (lo / hi).powf(alpha);
+        let expect = lo.powf(alpha) / (1.0 - ratio)
+            * (alpha / (alpha - 1.0))
+            * (lo.powf(1.0 - alpha) - hi.powf(1.0 - alpha));
+        let n = 200_000u64;
+        let sum: f64 = (0..n)
+            .map(|k| bounded_pareto(unit_f64(stream_word(13, 2, k)), alpha, lo, hi))
+            .sum();
+        let mean = sum / n as f64;
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "seeded mean {mean} far from analytic {expect}"
+        );
+    }
+
+    #[test]
+    fn gen_bounded_pareto_matches_pure_form() {
+        let mut a = Rng::new(77);
+        let mut b = Rng::new(77);
+        for _ in 0..1000 {
+            let x = a.gen_bounded_pareto(1.2, 1.0, 50.0);
+            let y = bounded_pareto(b.gen_f64(), 1.2, 1.0, 50.0);
+            assert_eq!(x, y);
+        }
     }
 
     #[test]

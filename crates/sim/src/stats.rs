@@ -60,6 +60,20 @@ impl Summary {
     }
 }
 
+/// Nearest-rank percentile of an **ascending-sorted** sample: the smallest
+/// observation such that at least `p·n` observations are ≤ it. This is the
+/// single percentile definition shared by the testkit bench `Stats`
+/// (p50/p95/p99 of wall times) and the traffic plane's sojourn-time
+/// summaries, so the two never disagree on what "p99" means. Panics on an
+/// empty sample; `p` is clamped to `[0, 1]`.
+pub fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "nearest_rank on empty sample");
+    let n = sorted.len();
+    let p = p.clamp(0.0, 1.0);
+    let idx = ((p * n as f64).ceil() as usize).max(1) - 1;
+    sorted[idx.min(n - 1)]
+}
+
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -164,6 +178,35 @@ mod tests {
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 4.0);
         assert!((s.mean - (2.0 + 4.0 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_rank_basics() {
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(nearest_rank(&s, 0.50), 50.0);
+        assert_eq!(nearest_rank(&s, 0.95), 95.0);
+        assert_eq!(nearest_rank(&s, 0.99), 99.0);
+        assert_eq!(nearest_rank(&s, 0.0), 1.0);
+        assert_eq!(nearest_rank(&s, 1.0), 100.0);
+    }
+
+    #[test]
+    fn nearest_rank_single_sample_is_that_sample() {
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(nearest_rank(&[7.5], p), 7.5);
+        }
+    }
+
+    #[test]
+    fn nearest_rank_clamps_p() {
+        assert_eq!(nearest_rank(&[1.0, 2.0], -3.0), 1.0);
+        assert_eq!(nearest_rank(&[1.0, 2.0], 42.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn nearest_rank_empty_panics() {
+        let _ = nearest_rank(&[], 0.5);
     }
 
     #[test]

@@ -40,8 +40,13 @@ pub struct Stats {
     pub min_ns: f64,
     /// Slowest sample.
     pub max_ns: f64,
+    /// 50th percentile (nearest-rank; unlike `median_ns` this never
+    /// averages two samples, so it is always an observed value).
+    pub p50_ns: f64,
     /// 95th percentile (nearest-rank).
     pub p95_ns: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99_ns: f64,
 }
 
 /// Exact summary statistics of a sample list (pure; unit-testable).
@@ -57,9 +62,6 @@ pub fn stats(samples: &[f64]) -> Stats {
     } else {
         (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
     };
-    // Nearest-rank percentile: the smallest sample with at least 95% of
-    // the distribution at or below it.
-    let p95_idx = ((0.95 * n as f64).ceil() as usize).max(1) - 1;
     Stats {
         n,
         mean_ns: mean,
@@ -67,7 +69,9 @@ pub fn stats(samples: &[f64]) -> Stats {
         stddev_ns: var.sqrt(),
         min_ns: sorted[0],
         max_ns: sorted[n - 1],
-        p95_ns: sorted[p95_idx],
+        p50_ns: earth_sim::nearest_rank(&sorted, 0.50),
+        p95_ns: earth_sim::nearest_rank(&sorted, 0.95),
+        p99_ns: earth_sim::nearest_rank(&sorted, 0.99),
     }
 }
 
@@ -77,8 +81,8 @@ impl Stats {
         let mut s = String::new();
         let _ = write!(
             s,
-            "{{\"bench\":\"{id}\",\"n\":{},\"mean_ns\":{:.3},\"median_ns\":{:.3},\"stddev_ns\":{:.3},\"min_ns\":{:.3},\"max_ns\":{:.3},\"p95_ns\":{:.3}}}",
-            self.n, self.mean_ns, self.median_ns, self.stddev_ns, self.min_ns, self.max_ns, self.p95_ns
+            "{{\"bench\":\"{id}\",\"n\":{},\"mean_ns\":{:.3},\"median_ns\":{:.3},\"stddev_ns\":{:.3},\"min_ns\":{:.3},\"max_ns\":{:.3},\"p50_ns\":{:.3},\"p95_ns\":{:.3},\"p99_ns\":{:.3}}}",
+            self.n, self.mean_ns, self.median_ns, self.stddev_ns, self.min_ns, self.max_ns, self.p50_ns, self.p95_ns, self.p99_ns
         );
         s
     }
@@ -294,6 +298,44 @@ mod tests {
     }
 
     #[test]
+    fn p50_p99_are_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let st = stats(&samples);
+        assert_eq!(st.p50_ns, 50.0);
+        assert_eq!(st.p99_ns, 99.0);
+        // p50 picks an observed sample where median averages.
+        let st = stats(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(st.median_ns, 2.5);
+        assert_eq!(st.p50_ns, 2.0);
+    }
+
+    #[test]
+    fn percentiles_single_sample_boundary() {
+        let st = stats(&[42.0]);
+        assert_eq!(st.p50_ns, 42.0);
+        assert_eq!(st.p95_ns, 42.0);
+        assert_eq!(st.p99_ns, 42.0);
+    }
+
+    #[test]
+    fn percentiles_two_sample_boundary() {
+        // n=2: rank ceil(0.5*2)=1 → the smaller; ceil(0.95*2)=2 and
+        // ceil(0.99*2)=2 → the larger.
+        let st = stats(&[10.0, 20.0]);
+        assert_eq!(st.p50_ns, 10.0);
+        assert_eq!(st.p95_ns, 20.0);
+        assert_eq!(st.p99_ns, 20.0);
+    }
+
+    #[test]
+    fn percentiles_all_equal_samples() {
+        let st = stats(&[5.0; 9]);
+        assert_eq!(st.p50_ns, 5.0);
+        assert_eq!(st.p95_ns, 5.0);
+        assert_eq!(st.p99_ns, 5.0);
+    }
+
+    #[test]
     fn iter_custom_excludes_warmup_samples() {
         let mut bench = Bench::new(false);
         let mut calls = 0u32;
@@ -313,6 +355,7 @@ mod tests {
         assert_eq!(st.n, 60);
         assert_eq!(st.mean_ns, 10.0, "warmup values leaked into samples");
         assert_eq!(st.p95_ns, 10.0);
+        assert_eq!(st.p99_ns, 10.0);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use earth_algebra::poly::{Poly, Ring, Term};
 use earth_faults::FaultPlan;
 use earth_linalg::SymTridiagonal;
 use earth_sim::{VirtualDuration, VirtualTime};
+use earth_traffic::{Discipline, TrafficPlan};
 use std::ops::Range;
 
 /// A monomial in `nvars` variables with exponents in `[0, max_exp]`.
@@ -141,6 +142,43 @@ pub fn crash_plan(nodes: u16, down_us: Range<u64>) -> impl Strategy<Value = Faul
         })
 }
 
+/// An installable traffic plan: up to `max_jobs` jobs at 500–8000
+/// offered jobs/s, a random non-degenerate class mix, 1–4 tenants,
+/// concurrency 1–8, and either queueing discipline. Sizes stay in the
+/// default 4–64 bounded-Pareto band so generated streams drain fast
+/// enough for property runs.
+pub fn traffic_plan(max_jobs: u32) -> impl Strategy<Value = TrafficPlan> {
+    assert!(
+        max_jobs >= 1,
+        "a plan generator that only makes trivial plans is useless"
+    );
+    (
+        crate::strategy::any::<u64>(),
+        1u32..max_jobs + 1,
+        500u64..8_000,
+        collection::vec(0u32..4, 4),
+        1u64..5,
+        (1u32..9, crate::strategy::any::<bool>()),
+    )
+        .prop_map(|(seed, jobs, load, weights, tenants, (conc, fair))| {
+            let mut w = [weights[0], weights[1], weights[2], weights[3]];
+            if w.iter().all(|&x| x == 0) {
+                w = [1, 1, 1, 1];
+            }
+            TrafficPlan::new(seed)
+                .with_jobs(jobs)
+                .with_offered_load(load as f64)
+                .with_weights(w)
+                .with_tenants(tenants as u16)
+                .with_concurrency(conc)
+                .with_discipline(if fair {
+                    Discipline::FairShare
+                } else {
+                    Discipline::Fifo
+                })
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +255,25 @@ mod tests {
             }
         }
         assert!(restarts > 20 && failovers > 20, "both kinds must occur");
+    }
+
+    #[test]
+    fn traffic_plans_are_installable_and_never_trivial() {
+        let s = traffic_plan(24);
+        let (mut fifo, mut fair) = (0, 0);
+        for seed in 0..100 {
+            let p = gen(&s, seed);
+            assert!(!p.is_trivial());
+            assert!((1..=24).contains(&p.jobs));
+            assert!(p.weights.iter().any(|&w| w > 0), "degenerate mix: {p:?}");
+            assert!(p.concurrency >= 1 && p.tenants >= 1);
+            assert!(p.offered_load > 0.0);
+            match p.discipline {
+                Discipline::Fifo => fifo += 1,
+                Discipline::FairShare => fair += 1,
+            }
+        }
+        assert!(fifo > 20 && fair > 20, "both disciplines must occur");
     }
 
     #[test]

@@ -1,0 +1,516 @@
+//! The four job-class bodies the workload generator mixes.
+//!
+//! Each class is a miniature of one of the paper's applications, shaped
+//! for *co-scheduling*: unlike the full apps in `crates/apps` (which own
+//! per-node state and a whole `Runtime` each), a class job carries all of
+//! its state in token arguments, so any number of jobs of any mix can be
+//! in flight on one machine at once. Work is charged through the same
+//! calibrated cost models as the real apps, and the communication idioms
+//! are theirs too:
+//!
+//! * **eigen** — fork-join binary tree whose tasks fetch a 28-byte
+//!   argument record from parent memory with a split-phase `GET_SYNC`
+//!   (the record codec is `earth_apps::eigen`'s, re-exported for exactly
+//!   this reuse) and charge one Sturm count per task.
+//! * **groebner** — master/worker waves: irregular per-worker reduction
+//!   counts drawn from the job's counter stream, results `DATA_SYNC`ed
+//!   back into the master's buffer, a basis-update charge between waves.
+//! * **neural** — phased fan-out/fan-in barriers: forward and backward
+//!   slice waves over the job's unit count, an error-calculation charge
+//!   at each barrier.
+//! * **search** — an irregular branching tree in pure TOKEN style:
+//!   branching factor and work per node drawn from the job's counter
+//!   stream, bounded by a task budget so every job is finite.
+//!
+//! Every draw comes from [`earth_sim::stream_word`] keyed by the job's
+//! own key — never from node RNGs — so a job's shape is a pure function
+//! of the plan, independent of where and when its tokens run.
+
+use earth_algebra::cost::{NS_PER_COEFF_OP, NS_PER_STEP};
+use earth_apps::eigen::{read_record, write_record, REC_BYTES};
+use earth_linalg::bisect::Interval;
+use earth_linalg::cost::sturm_cost;
+use earth_nn::cost::{backward_slice_cost, error_calc_cost, forward_slice_cost};
+use earth_rt::{
+    ArgsReader, ArgsWriter, Ctx, FuncId, GlobalAddr, Payload, Runtime, SlotId, SlotRef, ThreadId,
+    ThreadedFn,
+};
+use earth_sim::{stream_word, VirtualDuration};
+
+/// Class tags, indexable by the `class` byte carried on every arrival.
+pub const CLASS_NAMES: [&str; 4] = ["eigen", "groebner", "neural", "search"];
+
+/// Class tag: eigen-style fork-join bisection tree.
+pub const CLASS_EIGEN: u8 = 0;
+/// Class tag: Gröbner-style master/worker reduction waves.
+pub const CLASS_GROEBNER: u8 = 1;
+/// Class tag: neural-style phased barriers.
+pub const CLASS_NEURAL: u8 = 2;
+/// Class tag: irregular search tree.
+pub const CLASS_SEARCH: u8 = 3;
+
+/// Matrix dimension the eigen-class charges per task (one Sturm count on
+/// a 16×16 system: 125 µs of simulated i860 time).
+const EIGEN_DIM: usize = 16;
+
+const SLOT_JOIN: SlotId = SlotId(0);
+const SLOT_FETCH: SlotId = SlotId(0);
+const SLOT_KIDS: SlotId = SlotId(1);
+const T_DONE: ThreadId = ThreadId(1);
+const T_FETCHED: ThreadId = ThreadId(1);
+const T_JOINED: ThreadId = ThreadId(2);
+
+/// The registered root functions of all four classes. Arrivals name
+/// their root through [`ClassFns::root`]; tasks and workers recurse via
+/// FuncIds carried in their own arguments (the eigen app's idiom), so
+/// only the roots need remembering after registration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassFns {
+    eigen_root: FuncId,
+    groebner_root: FuncId,
+    neural_root: FuncId,
+    search_root: FuncId,
+}
+
+/// Register every class function on `rt` and return their ids.
+pub fn register(rt: &mut Runtime) -> ClassFns {
+    let eigen_task = rt.register("traffic-eigen-task", |a: &mut ArgsReader<'_>| {
+        Box::new(EigenTask {
+            job: a.u32(),
+            rec: a.addr(),
+            parent: a.slot(),
+            me: FuncId(a.u32()),
+            scratch: 0,
+        })
+    });
+    let eigen_root = rt.register("traffic-eigen-root", move |a: &mut ArgsReader<'_>| {
+        Box::new(EigenRoot {
+            job: a.u32(),
+            budget: a.u32(),
+            task_fn: eigen_task,
+        })
+    });
+    let groebner_worker = rt.register("traffic-groebner-worker", |a: &mut ArgsReader<'_>| {
+        Box::new(GroebnerWorker {
+            reductions: a.u64(),
+            dst: a.addr(),
+            done: a.slot(),
+        })
+    });
+    let groebner_root = rt.register("traffic-groebner-root", move |a: &mut ArgsReader<'_>| {
+        Box::new(GroebnerRoot {
+            job: a.u32(),
+            size: a.u32(),
+            key: a.u64(),
+            worker_fn: groebner_worker,
+            wave: 0,
+            width: 0,
+            buf: 0,
+        })
+    });
+    let neural_worker = rt.register("traffic-neural-worker", |a: &mut ArgsReader<'_>| {
+        Box::new(NeuralWorker {
+            units: a.u32(),
+            fanin: a.u32(),
+            backward: a.u8() != 0,
+            done: a.slot(),
+        })
+    });
+    let neural_root = rt.register("traffic-neural-root", move |a: &mut ArgsReader<'_>| {
+        Box::new(NeuralRoot {
+            job: a.u32(),
+            size: a.u32(),
+            worker_fn: neural_worker,
+            phase: 0,
+            units: 0,
+            slices: 0,
+        })
+    });
+    let search_task = rt.register("traffic-search-task", |a: &mut ArgsReader<'_>| {
+        Box::new(SearchTask {
+            budget: a.u32(),
+            key: a.u64(),
+            parent: a.slot(),
+            me: FuncId(a.u32()),
+        })
+    });
+    let search_root = rt.register("traffic-search-root", move |a: &mut ArgsReader<'_>| {
+        Box::new(SearchRoot {
+            job: a.u32(),
+            budget: a.u32(),
+            key: a.u64(),
+            task_fn: search_task,
+        })
+    });
+    ClassFns {
+        eigen_root,
+        groebner_root,
+        neural_root,
+        search_root,
+    }
+}
+
+impl ClassFns {
+    /// Root function and arguments for one arriving job of `class` with
+    /// Pareto-drawn `size` (work units) and per-job stream `key`.
+    pub fn root(&self, class: u8, job: u32, size: u32, key: u64) -> (FuncId, Payload) {
+        let mut a = ArgsWriter::new();
+        a.u32(job);
+        match class {
+            CLASS_EIGEN => {
+                a.u32(size);
+                (self.eigen_root, a.finish())
+            }
+            CLASS_GROEBNER => {
+                a.u32(size);
+                a.u64(key);
+                (self.groebner_root, a.finish())
+            }
+            CLASS_NEURAL => {
+                a.u32(size);
+                (self.neural_root, a.finish())
+            }
+            CLASS_SEARCH => {
+                a.u32(size);
+                a.u64(key);
+                (self.search_root, a.finish())
+            }
+            other => panic!("unknown job class {other}"),
+        }
+    }
+}
+
+// ---- eigen class ------------------------------------------------------
+
+/// Job root: plants the search tree's root task and reports done when it
+/// joins back.
+struct EigenRoot {
+    job: u32,
+    budget: u32,
+    task_fn: FuncId,
+}
+
+impl ThreadedFn for EigenRoot {
+    fn run(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId) {
+        match tid {
+            ThreadId(0) => {
+                ctx.init_sync(SLOT_JOIN, 1, 0, T_DONE);
+                let rec = ctx.alloc(REC_BYTES);
+                let iv = Interval {
+                    lo: 0.0,
+                    hi: self.budget as f64,
+                    count_lo: self.job as usize,
+                    count_hi: self.budget.max(1) as usize,
+                    depth: 0,
+                };
+                write_record(ctx, rec.offset, &iv);
+                let mut a = ArgsWriter::new();
+                a.u32(self.job);
+                a.addr(rec);
+                a.slot(ctx.slot_ref(SLOT_JOIN));
+                a.u32(self.task_fn.0);
+                ctx.token(self.task_fn, a.finish());
+            }
+            T_DONE => {
+                ctx.job_done(self.job);
+                ctx.end();
+            }
+            _ => unreachable!("eigen root has no thread {tid:?}"),
+        }
+    }
+}
+
+/// One search task: fetch the 28-byte argument record from the parent's
+/// node (one block `GET_SYNC`, the Fig. 2 "block move" variant), charge a
+/// Sturm count, and either converge or split the remaining budget over
+/// two children.
+struct EigenTask {
+    job: u32,
+    rec: GlobalAddr,
+    parent: SlotRef,
+    me: FuncId,
+    scratch: u32,
+}
+
+impl ThreadedFn for EigenTask {
+    fn run(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId) {
+        match tid {
+            ThreadId(0) => {
+                self.scratch = ctx.alloc(REC_BYTES).offset;
+                ctx.init_sync(SLOT_FETCH, 1, 0, T_FETCHED);
+                ctx.get_sync(self.rec, self.scratch, REC_BYTES, SLOT_FETCH);
+            }
+            T_FETCHED => {
+                let iv = read_record(ctx, self.scratch);
+                let budget = iv.count_hi as u32;
+                ctx.compute(sturm_cost(EIGEN_DIM));
+                if budget <= 1 {
+                    ctx.sync(self.parent);
+                    ctx.end();
+                    return;
+                }
+                ctx.init_sync(SLOT_KIDS, 2, 0, T_JOINED);
+                for half in [budget / 2, budget - budget / 2] {
+                    let rec = ctx.alloc(REC_BYTES);
+                    let child = Interval {
+                        lo: iv.lo,
+                        hi: iv.hi,
+                        count_lo: self.job as usize,
+                        count_hi: half as usize,
+                        depth: iv.depth + 1,
+                    };
+                    write_record(ctx, rec.offset, &child);
+                    let mut a = ArgsWriter::new();
+                    a.u32(self.job);
+                    a.addr(rec);
+                    a.slot(ctx.slot_ref(SLOT_KIDS));
+                    a.u32(self.me.0);
+                    ctx.token(self.me, a.finish());
+                }
+            }
+            T_JOINED => {
+                ctx.sync(self.parent);
+                ctx.end();
+            }
+            _ => unreachable!("eigen task has no thread {tid:?}"),
+        }
+    }
+}
+
+// ---- groebner class ---------------------------------------------------
+
+const T_WAVE: ThreadId = ThreadId(1);
+
+/// Job master: two waves of workers with irregular reduction counts; each
+/// wave's results land in the master's buffer via `DATA_SYNC` and the
+/// master charges a basis-update between waves.
+struct GroebnerRoot {
+    job: u32,
+    size: u32,
+    key: u64,
+    worker_fn: FuncId,
+    wave: u32,
+    width: u32,
+    buf: u32,
+}
+
+impl GroebnerRoot {
+    fn spawn_wave(&mut self, ctx: &mut Ctx<'_>) {
+        let width = self.width;
+        self.buf = ctx.alloc(width * 8).offset;
+        ctx.init_sync(SLOT_JOIN, width as i32, 0, T_WAVE);
+        for i in 0..width {
+            // Reduction counts are irregular — the paper's Table 2 point —
+            // drawn per (job, wave, worker) from the counter stream.
+            let r = 1 + stream_word(self.key, self.wave as u64, i as u64) % 6;
+            let mut a = ArgsWriter::new();
+            a.u64(r);
+            a.addr(GlobalAddr::new(ctx.node(), self.buf + i * 8));
+            a.slot(ctx.slot_ref(SLOT_JOIN));
+            ctx.token(self.worker_fn, a.finish());
+        }
+    }
+}
+
+impl ThreadedFn for GroebnerRoot {
+    fn run(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId) {
+        match tid {
+            ThreadId(0) => {
+                self.width = 1 + self.size / 6;
+                self.spawn_wave(ctx);
+            }
+            T_WAVE => {
+                // Fold the wave into the basis (insert_cost scale without
+                // dragging in a real polynomial ring).
+                ctx.compute(VirtualDuration::from_us(50 + 20 * self.width as u64));
+                self.wave += 1;
+                if self.wave < 2 {
+                    self.width = (self.width / 2).max(1);
+                    self.spawn_wave(ctx);
+                } else {
+                    ctx.job_done(self.job);
+                    ctx.end();
+                }
+            }
+            _ => unreachable!("groebner root has no thread {tid:?}"),
+        }
+    }
+}
+
+/// One worker: charge the reduction steps, then `DATA_SYNC` the result
+/// into the master's buffer (the done-slot signals the wave barrier).
+struct GroebnerWorker {
+    reductions: u64,
+    dst: GlobalAddr,
+    done: SlotRef,
+}
+
+impl ThreadedFn for GroebnerWorker {
+    fn run(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId) {
+        debug_assert_eq!(tid, ThreadId(0));
+        ctx.compute(VirtualDuration::from_ns(
+            self.reductions * (NS_PER_STEP + NS_PER_COEFF_OP),
+        ));
+        ctx.data_sync_f64(self.reductions as f64, self.dst, Some(self.done));
+        ctx.end();
+    }
+}
+
+// ---- neural class -----------------------------------------------------
+
+const T_PHASE: ThreadId = ThreadId(1);
+
+/// Job root: a forward wave and a backward wave of unit slices, each a
+/// fan-out/fan-in barrier, with the error calculation charged between.
+struct NeuralRoot {
+    job: u32,
+    size: u32,
+    worker_fn: FuncId,
+    phase: u32,
+    units: u32,
+    slices: u32,
+}
+
+impl NeuralRoot {
+    fn spawn_wave(&mut self, ctx: &mut Ctx<'_>, backward: bool) {
+        ctx.init_sync(SLOT_JOIN, self.slices as i32, 0, T_PHASE);
+        let per = (self.units / self.slices).max(1);
+        for _ in 0..self.slices {
+            let mut a = ArgsWriter::new();
+            a.u32(per);
+            a.u32(self.units);
+            a.u8(backward as u8);
+            a.slot(ctx.slot_ref(SLOT_JOIN));
+            ctx.token(self.worker_fn, a.finish());
+        }
+    }
+}
+
+impl ThreadedFn for NeuralRoot {
+    fn run(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId) {
+        match tid {
+            ThreadId(0) => {
+                self.units = 16 + 4 * self.size;
+                self.slices = (ctx.num_nodes() as u32).clamp(1, 8);
+                self.spawn_wave(ctx, false);
+            }
+            T_PHASE => {
+                ctx.compute(error_calc_cost(self.units as usize));
+                self.phase += 1;
+                if self.phase < 2 {
+                    self.spawn_wave(ctx, true);
+                } else {
+                    ctx.job_done(self.job);
+                    ctx.end();
+                }
+            }
+            _ => unreachable!("neural root has no thread {tid:?}"),
+        }
+    }
+}
+
+/// One unit slice: charge the calibrated forward/backward slice cost and
+/// hit the barrier.
+struct NeuralWorker {
+    units: u32,
+    fanin: u32,
+    backward: bool,
+    done: SlotRef,
+}
+
+impl ThreadedFn for NeuralWorker {
+    fn run(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId) {
+        debug_assert_eq!(tid, ThreadId(0));
+        let cost = if self.backward {
+            backward_slice_cost(self.units as usize, self.fanin as usize)
+        } else {
+            forward_slice_cost(self.units as usize, self.fanin as usize)
+        };
+        ctx.compute(cost);
+        ctx.sync(self.done);
+        ctx.end();
+    }
+}
+
+// ---- search class -----------------------------------------------------
+
+const T_JOIN: ThreadId = ThreadId(1);
+
+/// Job root: plants the irregular tree's root task.
+struct SearchRoot {
+    job: u32,
+    budget: u32,
+    key: u64,
+    task_fn: FuncId,
+}
+
+impl ThreadedFn for SearchRoot {
+    fn run(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId) {
+        match tid {
+            ThreadId(0) => {
+                ctx.init_sync(SLOT_JOIN, 1, 0, T_DONE);
+                let mut a = ArgsWriter::new();
+                a.u32(self.budget.max(1));
+                a.u64(self.key);
+                a.slot(ctx.slot_ref(SLOT_JOIN));
+                a.u32(self.task_fn.0);
+                ctx.token(self.task_fn, a.finish());
+            }
+            T_DONE => {
+                ctx.job_done(self.job);
+                ctx.end();
+            }
+            _ => unreachable!("search root has no thread {tid:?}"),
+        }
+    }
+}
+
+/// One expansion: charge stream-drawn work, then branch into one or two
+/// children over an irregular split of the remaining budget. Total tasks
+/// per job equal the budget exactly, so every job is finite while the
+/// tree shape stays unpredictable.
+struct SearchTask {
+    budget: u32,
+    key: u64,
+    parent: SlotRef,
+    me: FuncId,
+}
+
+impl ThreadedFn for SearchTask {
+    fn run(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId) {
+        match tid {
+            ThreadId(0) => {
+                let w = stream_word(self.key, 0, 0);
+                ctx.compute(VirtualDuration::from_us(5 + w % 20));
+                let rest = self.budget - 1;
+                if rest == 0 {
+                    ctx.sync(self.parent);
+                    ctx.end();
+                    return;
+                }
+                // Branch factor 1 or 2 (pruning vs expansion), split point
+                // irregular — both from the job's own stream.
+                let kids: &[u32] = if rest >= 2 && !w.is_multiple_of(4) {
+                    let cut = 1 + (stream_word(self.key, 1, 0) % (rest as u64 - 1)) as u32;
+                    &[cut, rest - cut]
+                } else {
+                    &[rest]
+                };
+                ctx.init_sync(SLOT_KIDS, kids.len() as i32, 0, T_JOIN);
+                for (i, &b) in kids.iter().enumerate() {
+                    let mut a = ArgsWriter::new();
+                    a.u32(b);
+                    a.u64(stream_word(self.key, 2, i as u64));
+                    a.slot(ctx.slot_ref(SLOT_KIDS));
+                    a.u32(self.me.0);
+                    ctx.token(self.me, a.finish());
+                }
+            }
+            T_JOIN => {
+                ctx.sync(self.parent);
+                ctx.end();
+            }
+            _ => unreachable!("search task has no thread {tid:?}"),
+        }
+    }
+}

@@ -44,6 +44,13 @@ cmp /tmp/scale_smoke_a.json /tmp/scale_smoke_b.json
 grep -q '"experiment":"scale"' /tmp/scale_smoke_a.json
 grep -q '"topologies":\["crossbar","hypercube","torus3d","fattree"\]' /tmp/scale_smoke_a.json
 
+echo "== traffic smoke (open-loop streams through admission, byte-identical reruns) =="
+cargo run --release --offline -p earth-bench --bin repro -- traffic --smoke --json > /tmp/traffic_smoke_a.json
+cargo run --release --offline -p earth-bench --bin repro -- traffic --smoke --json > /tmp/traffic_smoke_b.json
+cmp /tmp/traffic_smoke_a.json /tmp/traffic_smoke_b.json
+grep -q '"experiment":"traffic"' /tmp/traffic_smoke_a.json
+grep -q '"variant":"crashed"' /tmp/traffic_smoke_a.json
+
 echo "== topology scale full (1024 nodes; terminates inside the smoke budget) =="
 cargo run --release --offline -p earth-bench --bin repro -- scale --json > /tmp/scale_full.json
 grep -q '"nodes":\[20,64,256,1024\]' /tmp/scale_full.json

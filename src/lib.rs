@@ -25,6 +25,7 @@
 //! | [`linalg`] | `earth-linalg` | tridiagonal matrices, Sturm counts, bisection eigensolver |
 //! | [`nn`] | `earth-nn` | feedforward networks, backprop, unit slicing, i860 cost model |
 //! | [`apps`] | `earth-apps` | the parallel applications on EARTH |
+//! | [`traffic`] | `earth-traffic` | open-loop workload generator + admission/queueing front-end |
 //! | [`bench`](mod@bench) | `earth-bench` | the per-table / per-figure experiment harness |
 //!
 //! ## Quickstart
@@ -47,6 +48,7 @@ pub use earth_msgpass as msgpass;
 pub use earth_nn as nn;
 pub use earth_rt as rt;
 pub use earth_sim as sim;
+pub use earth_traffic as traffic;
 
 /// The experiment harness, re-exported.
 pub mod bench {

@@ -1,0 +1,98 @@
+//! Property tests for the traffic plane: replay determinism, job
+//! accounting conservation, and the "no plan == absent" guarantee, over
+//! randomized plans from the testkit's `traffic_plan` generator.
+
+use earth_manna::machine::MachineConfig;
+use earth_manna::rt::{Ctx, Runtime, ThreadId, ThreadedFn};
+use earth_manna::sim::VirtualDuration;
+use earth_manna::traffic::run_traffic;
+use earth_testkit::domain::traffic_plan;
+use earth_testkit::prelude::*;
+
+props! {
+    #![config(Config::with_cases(12))]
+
+    /// Same plan + same runtime seed → byte-identical traffic report
+    /// and byte-identical full run report, for any generated plan on
+    /// any machine size.
+    #[test]
+    fn traffic_replay_is_byte_identical(
+        plan in traffic_plan(12),
+        nodes in 1u16..9,
+        seed in any::<u64>(),
+    ) {
+        let a = run_traffic(&plan, nodes, seed);
+        let b = run_traffic(&plan, nodes, seed);
+        prop_assert_eq!(a.report.traffic.as_ref(), b.report.traffic.as_ref());
+        prop_assert_eq!(format!("{:?}", a.report), format!("{:?}", b.report));
+    }
+
+    /// At drain, every arrival is accounted for: arrived == admitted ==
+    /// completed, nothing in flight or queued, and every job record has
+    /// a causally ordered arrive ≤ admit ≤ complete triple.
+    #[test]
+    fn traffic_accounting_is_conserved_at_drain(
+        plan in traffic_plan(12),
+        nodes in 1u16..9,
+        seed in any::<u64>(),
+    ) {
+        let run = run_traffic(&plan, nodes, seed);
+        let t = run.report.traffic.as_ref().expect("non-trivial plan");
+        prop_assert!(t.is_conserved());
+        prop_assert_eq!(t.arrived, plan.jobs as u64);
+        prop_assert_eq!(t.admitted, t.arrived);
+        prop_assert_eq!(t.completed, t.arrived);
+        prop_assert_eq!(t.in_flight(), 0);
+        prop_assert_eq!(t.queued(), 0);
+        prop_assert!(run.report.traffic_drained());
+        for j in &t.jobs {
+            let admit = j.admit.expect("admitted");
+            let complete = j.complete.expect("completed");
+            prop_assert!(j.arrive <= admit, "admitted before arriving");
+            prop_assert!(admit <= complete, "completed before admission");
+        }
+    }
+}
+
+/// A stand-in workload so the no-plan comparison runs real threads, not
+/// an empty event loop.
+struct Busy;
+
+impl ThreadedFn for Busy {
+    fn run(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId) {
+        assert_eq!(tid, ThreadId(0));
+        ctx.compute(VirtualDuration::from_us(50));
+        ctx.end();
+    }
+}
+
+props! {
+    #![config(Config::with_cases(12))]
+
+    /// A trivial (zero-job) plan must leave the runtime byte-identical
+    /// to one that never saw a plan — including when real work runs:
+    /// "disabled == absent".
+    #[test]
+    fn trivial_plan_is_byte_identical_to_no_plan(
+        plan in traffic_plan(12),
+        nodes in 1u16..9,
+        seed in any::<u64>(),
+    ) {
+        let run_with = |install: bool| {
+            let mut rt = Runtime::new(MachineConfig::manna(nodes), seed);
+            let busy = rt.register("busy", |_| Box::new(Busy));
+            rt.inject_invoke(earth_manna::rt::NodeId(0), busy, earth_manna::rt::Payload::empty());
+            if install {
+                let mut trivial = plan.clone();
+                trivial.jobs = 0;
+                trivial.install(&mut rt);
+            }
+            rt.run()
+        };
+        let absent = run_with(false);
+        let disabled = run_with(true);
+        prop_assert!(disabled.traffic.is_none(), "trivial plan left state behind");
+        prop_assert_eq!(format!("{absent:?}"), format!("{disabled:?}"));
+        prop_assert_eq!(format!("{absent}"), format!("{disabled}"));
+    }
+}
