@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--json] [table1|fig2|table2|fig4|fig5|table3|fig7|fig8|ablation|dual|profile|faults|crashes|scale|traffic|bench|all]
+//! repro [--quick] [--json] [table1|fig2|table2|fig4|fig5|table3|fig7|fig8|ablation|dual|profile|faults|crashes|scale|traffic|overload|bench|all]
 //! ```
 //!
 //! `--quick` shrinks matrices and seed counts (same shapes, CI speed).
@@ -41,6 +41,13 @@
 //! sojourn digests and lossy + crashed degradation variants (`--smoke`
 //! shrinks the streams to CI size). Fixed-seed, so `repro traffic
 //! --json` is a diffable artifact.
+//!
+//! `overload` (not part of `all`) runs the overload-control sweep:
+//! goodput vs offered load for the same deadlined, retrying job stream
+//! with the defenses (deadline shedding + per-tenant circuit breaker)
+//! off and on, plus lossy + crashed chaos variants at the heaviest
+//! load (`--smoke` shrinks the streams to CI size). Fixed-seed, so
+//! `repro overload --json` is a diffable artifact.
 
 use earth_bench::*;
 
@@ -165,6 +172,15 @@ fn main() {
             traffic_smoke()
         } else {
             traffic_table()
+        };
+        println!("{}", if json { t.to_json() } else { t.render() });
+    }
+    if what.contains(&"overload") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let t = if smoke {
+            overload_smoke()
+        } else {
+            overload_table()
         };
         println!("{}", if json { t.to_json() } else { t.render() });
     }

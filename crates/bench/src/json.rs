@@ -336,6 +336,46 @@ impl crate::traffic_sweep::TrafficTable {
     }
 }
 
+impl crate::overload_sweep::OverloadTable {
+    /// JSON record. Every value is a pure function of the fixed seeds
+    /// and plans, so the record is byte-identical across invocations.
+    pub fn to_json(&self) -> String {
+        let mut cells = String::from("[");
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                cells.push(',');
+            }
+            let _ = write!(
+                cells,
+                "{{\"variant\":\"{}\",\"offered_per_sec\":{},\"jobs\":{},\"completed\":{},\"rejected\":{},\"expired\":{},\"attained\":{},\"goodput\":{},\"retries\":{},\"queue_rejections\":{},\"breaker_rejections\":{},\"breaker_opens\":{},\"sheds\":{},\"peak_waiting\":{},\"p99_us\":{},\"makespan_us\":{}}}",
+                c.variant,
+                num(c.offered),
+                c.slo.jobs,
+                c.slo.completed,
+                c.slo.rejected,
+                c.slo.expired,
+                c.slo.attained,
+                num(c.slo.goodput()),
+                c.slo.retries,
+                c.queue_rejections,
+                c.breaker_rejections,
+                c.breaker_opens,
+                c.sheds,
+                c.peak_waiting,
+                num(c.p99_us),
+                num(c.makespan.as_us_f64())
+            );
+        }
+        cells.push(']');
+        format!(
+            "{{\"experiment\":\"overload\",\"jobs\":{},\"nodes\":{},\"loads_per_sec\":{},\"cells\":{cells}}}",
+            self.jobs,
+            self.nodes,
+            series(&self.loads)
+        )
+    }
+}
+
 impl CommsAblation {
     /// JSON record.
     pub fn to_json(&self) -> String {

@@ -13,6 +13,7 @@
 pub mod chrome;
 pub mod experiments;
 pub mod json;
+pub mod overload_sweep;
 pub mod perf;
 pub mod traffic_sweep;
 pub mod workloads;
@@ -20,6 +21,7 @@ pub mod workloads;
 pub use chrome::chrome_trace_json;
 pub use experiments::*;
 pub use json::{groebner_curves_to_json, neural_curves_to_json};
+pub use overload_sweep::{overload_smoke, overload_table, OverloadCell, OverloadTable};
 pub use perf::{run_sweeps, schema_signature, sweeps_to_json, SweepResult};
 pub use traffic_sweep::{traffic_smoke, traffic_table, TrafficCell, TrafficTable};
 pub use workloads::*;

@@ -204,6 +204,24 @@ pub fn run_sweeps(smoke: bool) -> Vec<SweepResult> {
         earth_traffic::run_traffic_crashed(&t_high, tn, 42, 3, tdown, Some(tup)).report
     }));
 
+    // -- Overload control -------------------------------------------------
+    // The same stream saturated past what the machine absorbs, with the
+    // full defenses on: deadline draws, bounded-queue rejections, retry
+    // scheduling, queue shedding sweeps, and breaker bookkeeping are
+    // all extra work on the admission hot path, so their cost shows up
+    // here first.
+    let t_over = t_high
+        .clone()
+        .with_offered_load(32_000.0)
+        .with_deadlines(1_500, 5_000)
+        .with_queue_cap(16)
+        .with_retries(3, 200, 1_600)
+        .with_deadline_shedding()
+        .with_breaker(8, 5, 400);
+    out.push(measure("overload_defended", tn, reps, || {
+        earth_traffic::run_traffic(&t_over, tn, 42).report
+    }));
+
     // -- Topology scale points ------------------------------------------
     // One 256-node Gröbner run per interconnect: the scan-free hot paths
     // are what make this size affordable, so a regression shows up here

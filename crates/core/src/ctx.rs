@@ -93,9 +93,14 @@ impl<'a> Ctx<'a> {
 
     /// Report completion of admitted traffic-plane job `job` to the
     /// admission front-end: its lifecycle record closes at the current
-    /// virtual instant and the freed concurrency slot admits the next
-    /// waiting job. Panics if no traffic plan is installed or the job is
-    /// not in flight (an application protocol bug).
+    /// virtual instant with the terminal
+    /// [`crate::JobOutcome::Completed`], and the freed concurrency slot
+    /// admits the next waiting job (after any deadline-expired waiters
+    /// are shed, under an overload policy). Only admitted jobs ever run,
+    /// so a job body never observes — and cannot report — a `Rejected`
+    /// or `Expired` outcome; those are settled at the front door.
+    /// Panics if no traffic plan is installed or the job is not in
+    /// flight (an application protocol bug).
     pub fn job_done(&mut self, job: u32) {
         let at = self.now();
         self.rt.traffic_job_done(at, job);

@@ -93,6 +93,9 @@ pub use profile::{ClassCost, NodeProfile, RunProfile};
 pub use report::{NodeStats, RunReport};
 pub use runtime::Runtime;
 pub use trace::{Activity, Span, Trace};
-pub use traffic::{Discipline, JobArrival, JobRecord, TrafficReport};
+pub use traffic::{
+    BreakerPolicy, Discipline, JobArrival, JobOutcome, JobRecord, OverloadPolicy, RetryPolicy,
+    SloSummary, TrafficReport,
+};
 
 pub use earth_machine::NodeId;

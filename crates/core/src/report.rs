@@ -175,11 +175,14 @@ impl RunReport {
     }
 
     /// True when a traffic plan was installed and every job that arrived
-    /// also completed — the serving-plane analogue of [`Self::is_clean`].
+    /// reached a terminal outcome (completed, rejected, or expired) —
+    /// the serving-plane analogue of [`Self::is_clean`]. Without an
+    /// overload policy nothing is ever refused, so this degenerates to
+    /// "everything completed".
     pub fn traffic_drained(&self) -> bool {
         self.traffic
             .as_ref()
-            .is_some_and(|t| t.arrived == t.completed && t.is_conserved())
+            .is_some_and(|t| t.arrived == t.completed + t.rejected + t.expired && t.is_conserved())
     }
 }
 
@@ -235,6 +238,22 @@ impl fmt::Display for RunReport {
                 t.in_flight(),
                 t.queued()
             )?;
+            // The overload line exists only when the overload plane did
+            // something, so policy-free (and policy-idle) runs render
+            // byte-identically to the pre-overload format.
+            if t.had_overload() {
+                writeln!(
+                    f,
+                    "overload: rejected {}  expired {}  retries {}  queue-full {}  breaker-rejected {}  breaker-opens {}  sheds {}",
+                    t.rejected,
+                    t.expired,
+                    t.retries,
+                    t.queue_rejections,
+                    t.breaker_rejections,
+                    t.breaker_opens,
+                    t.expirations
+                )?;
+            }
         }
         Ok(())
     }
@@ -333,20 +352,56 @@ mod tests {
         assert!(r.is_clean(), "crash counters do not dirty a run");
     }
 
+    /// A counter-consistent traffic report: `completed` finished jobs,
+    /// one in flight, the rest still queued, with backing records so the
+    /// record-recounting conservation check holds.
+    fn traffic_report(arrived: u64, admitted: u64, completed: u64) -> TrafficReport {
+        use crate::traffic::{Discipline, JobOutcome, JobRecord};
+        let jobs = (0..arrived)
+            .map(|k| {
+                let admitted_k = k < admitted;
+                let completed_k = k < completed;
+                JobRecord {
+                    job: k as u32,
+                    class: 0,
+                    tenant: 0,
+                    arrive: VirtualTime::ZERO,
+                    deadline: None,
+                    admit: admitted_k.then_some(VirtualTime::from_ns(10)),
+                    complete: completed_k.then_some(VirtualTime::from_ns(20)),
+                    outcome: if completed_k {
+                        JobOutcome::Completed
+                    } else {
+                        JobOutcome::Pending
+                    },
+                    retries: 0,
+                }
+            })
+            .collect();
+        TrafficReport {
+            discipline: Discipline::Fifo,
+            concurrency: 4,
+            arrived,
+            admitted,
+            completed,
+            rejected: 0,
+            expired: 0,
+            retries: 0,
+            queue_rejections: 0,
+            breaker_rejections: 0,
+            breaker_opens: 0,
+            expirations: 0,
+            peak_waiting: 0,
+            jobs,
+        }
+    }
+
     #[test]
     fn display_mentions_traffic_only_when_a_plan_ran() {
-        use crate::traffic::Discipline;
         let clean = format!("{}", report());
         assert!(!clean.contains("traffic"), "{clean}");
         let mut r = report();
-        r.traffic = Some(TrafficReport {
-            discipline: Discipline::Fifo,
-            concurrency: 4,
-            arrived: 10,
-            admitted: 8,
-            completed: 7,
-            jobs: Vec::new(),
-        });
+        r.traffic = Some(traffic_report(10, 8, 7));
         let s = format!("{r}");
         assert!(s.starts_with(&clean), "base line must stay identical");
         assert!(s.contains("traffic: fifo"), "{s}");
@@ -354,9 +409,29 @@ mod tests {
         assert!(s.contains("in-flight 1"), "{s}");
         assert!(s.contains("queued 2"), "{s}");
         assert!(!r.traffic_drained(), "three jobs still outstanding");
-        r.traffic.as_mut().unwrap().admitted = 10;
-        r.traffic.as_mut().unwrap().completed = 10;
+        r.traffic = Some(traffic_report(10, 10, 10));
         assert!(r.traffic_drained());
+    }
+
+    #[test]
+    fn display_mentions_overload_only_when_the_plane_acted() {
+        let mut r = report();
+        r.traffic = Some(traffic_report(10, 10, 10));
+        let idle = format!("{r}");
+        assert!(
+            !idle.contains("overload"),
+            "idle overload plane must stay silent: {idle}"
+        );
+        let t = r.traffic.as_mut().unwrap();
+        t.retries = 5;
+        t.queue_rejections = 3;
+        t.breaker_opens = 1;
+        let s = format!("{r}");
+        assert!(s.starts_with(&idle), "traffic line must stay identical");
+        assert!(s.contains("overload: rejected 0"), "{s}");
+        assert!(s.contains("retries 5"), "{s}");
+        assert!(s.contains("queue-full 3"), "{s}");
+        assert!(s.contains("breaker-opens 1"), "{s}");
     }
 
     #[test]

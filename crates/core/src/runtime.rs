@@ -21,7 +21,7 @@ use crate::recover::{Health, RecoverState};
 use crate::reli::{Envelope, Pending, ReliLayer, ACK_WIRE, ENV_BYTES};
 use crate::report::RunReport;
 use crate::trace::{Activity, Span, Trace};
-use crate::traffic::{Discipline, JobArrival, TrafficState};
+use crate::traffic::{Admission, Discipline, JobArrival, OverloadPolicy, TrafficState};
 use earth_machine::{MachineConfig, NetFate, Network, NodeId, OpClass};
 use earth_sim::{Rng, SimQueue, VirtualDuration, VirtualTime};
 
@@ -70,6 +70,12 @@ pub(crate) enum Event {
     /// virtual time: the freed slot must not admit anyone until the
     /// completion instant actually arrives (traffic plans only).
     JobDone(u32),
+    /// A refused job `k` re-presents itself at the front door after its
+    /// client's backoff (overload policies with retries only). The
+    /// instant was fixed when the refusal happened — capped exponential
+    /// backoff plus counter-addressed jitter — so retry storms replay
+    /// byte-identically.
+    JobRetry(u32),
 }
 
 type Ctor = Box<dyn Fn(&mut ArgsReader<'_>) -> Box<dyn ThreadedFn>>;
@@ -335,6 +341,20 @@ impl Runtime {
         concurrency: u32,
         discipline: Discipline,
     ) {
+        self.install_traffic_with(jobs, concurrency, discipline, OverloadPolicy::default());
+    }
+
+    /// [`Self::install_traffic`] with an explicit overload-control
+    /// policy: bounded queue, deadline shedding, client retries, and the
+    /// per-tenant circuit breaker (see [`OverloadPolicy`]). The default
+    /// policy is all-off and byte-identical to [`Self::install_traffic`].
+    pub fn install_traffic_with(
+        &mut self,
+        jobs: Vec<JobArrival>,
+        concurrency: u32,
+        discipline: Discipline,
+        policy: OverloadPolicy,
+    ) {
         assert!(
             self.traffic.is_none(),
             "a traffic plan is already installed"
@@ -345,16 +365,35 @@ impl Runtime {
         for (k, j) in jobs.iter().enumerate() {
             self.events.push(j.arrive, Event::JobArrive(k as u32));
         }
-        self.traffic = Some(TrafficState::new(jobs, concurrency, discipline));
+        self.traffic = Some(TrafficState::new(jobs, concurrency, discipline, policy));
     }
 
     /// Job `k` reaches the front door at `t`: record the arrival and admit
     /// as far as the concurrency limit allows.
     fn job_arrive(&mut self, t: VirtualTime, k: u32) {
-        self.traffic
+        let admission = self
+            .traffic
             .as_mut()
             .expect("JobArrive event without a traffic plan")
-            .arrive(k);
+            .arrive(t, k);
+        if let Admission::Retry(at) = admission {
+            self.events.push(at, Event::JobRetry(k));
+        }
+        self.admit_ready(t);
+    }
+
+    /// A refused job's client re-presents it at `t` (overload retries
+    /// only): same door, same admission path — only the `arrived`
+    /// counter, which tracks unique jobs, stays put.
+    fn job_retry(&mut self, t: VirtualTime, k: u32) {
+        let admission = self
+            .traffic
+            .as_mut()
+            .expect("JobRetry event without a traffic plan")
+            .retry_arrive(t, k);
+        if let Admission::Retry(at) = admission {
+            self.events.push(at, Event::JobRetry(k));
+        }
         self.admit_ready(t);
     }
 
@@ -364,6 +403,19 @@ impl Runtime {
     /// and no node randomness — so the traffic plane cannot perturb the
     /// fault/crash planes' streams.
     fn admit_ready(&mut self, t: VirtualTime) {
+        // Deadline shedding first: expired waiters are dropped before
+        // they can claim the slot a live job needs. Policy-gated — the
+        // default policy never reaches the sweep.
+        if self.traffic.as_ref().is_some_and(TrafficState::sheds) {
+            let mut retries = Vec::new();
+            self.traffic
+                .as_mut()
+                .expect("checked above")
+                .shed_expired(t, &mut retries);
+            for (at, k) in retries {
+                self.events.push(at, Event::JobRetry(k));
+            }
+        }
         loop {
             let Some(st) = self.traffic.as_mut() else {
                 return;
@@ -440,6 +492,7 @@ impl Runtime {
                 Event::DetectCheck { monitor, sent } => self.detect_check(t, monitor, sent),
                 Event::JobArrive(k) => self.job_arrive(t, k),
                 Event::JobDone(k) => self.job_done_at(t, k),
+                Event::JobRetry(k) => self.job_retry(t, k),
             }
         }
         self.report()

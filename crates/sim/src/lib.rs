@@ -29,6 +29,6 @@ pub mod time;
 pub use ladder::{LadderQueue, QueueKind, SimQueue};
 pub use order::MinEntry;
 pub use queue::EventQueue;
-pub use rng::{bounded_pareto, stream_word, unit_f64, Rng};
+pub use rng::{bounded_pareto, stream_word, unit_f64, word_bounded, Rng};
 pub use stats::{nearest_rank, Breakdown, Summary};
 pub use time::{VirtualDuration, VirtualTime};

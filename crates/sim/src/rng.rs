@@ -43,6 +43,19 @@ pub fn unit_f64(x: u64) -> f64 {
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+/// Map a raw 64-bit word to a uniform integer in `[0, bound)` by the
+/// multiply-shift method — the counter-stream counterpart of
+/// [`Rng::gen_range`]. Being a pure function of the word, it composes
+/// with [`stream_word`] for counter-addressed draws (deadline widths,
+/// retry jitter) without the rejection loop a stateful generator can
+/// afford; the residual bias at 64-bit word width is unobservable for
+/// simulation-sized bounds.
+#[inline]
+pub fn word_bounded(x: u64, bound: u64) -> u64 {
+    assert!(bound > 0, "word_bounded bound must be positive");
+    ((x as u128 * bound as u128) >> 64) as u64
+}
+
 /// Bounded-Pareto inverse CDF: map a uniform `u ∈ [0, 1)` to a
 /// heavy-tailed size in `[lo, hi]` with tail index `alpha`.
 ///
@@ -253,6 +266,28 @@ mod tests {
             .filter(|&k| stream_word(9, 0, k) == stream_word(9, 1, k))
             .count();
         assert!(same < 4, "lanes should be independent, {same} collisions");
+    }
+
+    #[test]
+    fn word_bounded_respects_bound_and_spreads() {
+        let mut seen = [false; 7];
+        for k in 0..1_000u64 {
+            let x = word_bounded(stream_word(3, 0, k), 7);
+            assert!(x < 7);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should occur");
+        // Pure: the same word maps to the same value, and the extremes
+        // of the word range pin the extremes of the output range.
+        assert_eq!(word_bounded(0, 100), 0);
+        assert_eq!(word_bounded(u64::MAX, 100), 99);
+        assert_eq!(word_bounded(42, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn word_bounded_zero_bound_panics() {
+        let _ = word_bounded(1, 0);
     }
 
     #[test]

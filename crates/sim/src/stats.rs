@@ -198,6 +198,14 @@ mod tests {
     }
 
     #[test]
+    fn nearest_rank_all_equal_samples_collapse_to_that_value() {
+        let s = [3.25; 17];
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(nearest_rank(&s, p), 3.25);
+        }
+    }
+
+    #[test]
     fn nearest_rank_clamps_p() {
         assert_eq!(nearest_rank(&[1.0, 2.0], -3.0), 1.0);
         assert_eq!(nearest_rank(&[1.0, 2.0], 42.0), 2.0);

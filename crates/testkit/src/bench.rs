@@ -336,6 +336,12 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "no samples")]
+    fn stats_over_empty_sample_panics() {
+        let _ = stats(&[]);
+    }
+
+    #[test]
     fn iter_custom_excludes_warmup_samples() {
         let mut bench = Bench::new(false);
         let mut calls = 0u32;

@@ -179,6 +179,53 @@ pub fn traffic_plan(max_jobs: u32) -> impl Strategy<Value = TrafficPlan> {
         })
 }
 
+/// An overload-exercising traffic plan: [`traffic_plan`]-shaped streams
+/// pushed past the queueing knee, with deadlines (200 µs – a few ms),
+/// a tight bounded queue, and a random subset of the overload knobs
+/// (shedding, bounded retries, breaker). Every generated plan
+/// `can_refuse()`, so suites over it assert terminal accounting
+/// (completed + rejected + expired == arrived), not full completion.
+pub fn overload_plan(max_jobs: u32) -> impl Strategy<Value = TrafficPlan> {
+    assert!(
+        max_jobs >= 1,
+        "a plan generator that only makes trivial plans is useless"
+    );
+    (
+        crate::strategy::any::<u64>(),
+        1u32..max_jobs + 1,
+        2_000u64..20_000,
+        (200u64..2_000, 1u64..5, crate::strategy::any::<bool>()),
+        (1u32..7, crate::strategy::any::<bool>()),
+        (0u32..4, 50u64..200, crate::strategy::any::<bool>()),
+    )
+        .prop_map(
+            |(seed, jobs, load, (dl_lo, dl_mul, shed), (cap, fair), (budget, base, brk))| {
+                let mut plan = TrafficPlan::new(seed)
+                    .with_jobs(jobs)
+                    .with_offered_load(load as f64)
+                    .with_tenants(3)
+                    .with_concurrency(4)
+                    .with_discipline(if fair {
+                        Discipline::FairShare
+                    } else {
+                        Discipline::Fifo
+                    })
+                    .with_deadlines(dl_lo, dl_lo * dl_mul)
+                    .with_queue_cap(cap);
+                if shed {
+                    plan = plan.with_deadline_shedding();
+                }
+                if budget > 0 {
+                    plan = plan.with_retries(budget, base, base * 8);
+                }
+                if brk {
+                    plan = plan.with_breaker(8, 4, 500);
+                }
+                plan
+            },
+        )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +321,33 @@ mod tests {
             }
         }
         assert!(fifo > 20 && fair > 20, "both disciplines must occur");
+    }
+
+    #[test]
+    fn overload_plans_always_refuse_and_vary_their_knobs() {
+        let s = overload_plan(16);
+        let (mut shed, mut retry, mut brk) = (0, 0, 0);
+        for seed in 0..100 {
+            let p = gen(&s, seed);
+            assert!(!p.is_trivial());
+            assert!(p.can_refuse(), "every overload plan must be able to: {p:?}");
+            let (lo, hi) = p.deadline_us.expect("deadlines always drawn");
+            assert!(lo >= 200 && hi >= lo);
+            assert!(p.queue_cap.is_some());
+            if p.deadline_shedding {
+                shed += 1;
+            }
+            if let Some(r) = p.retry {
+                assert!(r.budget >= 1 && !r.base.is_zero() && r.cap >= r.base);
+                retry += 1;
+            }
+            if p.breaker.is_some() {
+                brk += 1;
+            }
+        }
+        assert!(shed > 20 && shed < 80, "shedding must vary: {shed}");
+        assert!(retry > 20, "retries must occur: {retry}");
+        assert!(brk > 20 && brk < 80, "breaker must vary: {brk}");
     }
 
     #[test]

@@ -33,21 +33,35 @@
 pub mod classes;
 
 use earth_machine::{FaultPlan, MachineConfig};
-use earth_rt::{NodeId, RunReport, Runtime};
-use earth_sim::{bounded_pareto, nearest_rank, stream_word, unit_f64, VirtualTime};
+use earth_rt::{NodeId, OverloadPolicy, RunReport, Runtime};
+use earth_sim::{
+    bounded_pareto, nearest_rank, stream_word, unit_f64, word_bounded, VirtualDuration, VirtualTime,
+};
 
 pub use classes::{CLASS_EIGEN, CLASS_GROEBNER, CLASS_NAMES, CLASS_NEURAL, CLASS_SEARCH};
-pub use earth_rt::{Discipline, JobArrival, JobRecord, TrafficReport};
+pub use earth_rt::{
+    BreakerPolicy, Discipline, JobArrival, JobOutcome, JobRecord, RetryPolicy, SloSummary,
+    TrafficReport,
+};
 
 /// Stream lanes for per-arrival draws. Each decision about arrival `k`
 /// reads `stream_word(seed, LANE_*, k)` — changing how one fate is used
-/// never shifts any other.
+/// never shifts any other. The overload plane keeps the template: the
+/// deadline is one more lane of the same stream, and retry jitter runs
+/// on its own salted seed, so fault and crash fate streams are never
+/// perturbed by any overload knob.
 const LANE_GAP: u64 = 0;
 const LANE_CLASS: u64 = 1;
 const LANE_SIZE: u64 = 2;
 const LANE_HOME: u64 = 3;
 const LANE_TENANT: u64 = 4;
 const LANE_KEY: u64 = 5;
+const LANE_DEADLINE: u64 = 6;
+
+/// Salt deriving the retry-jitter fate seed from the plan seed, so
+/// [`TrafficPlan::with_retries`] needs no second seed parameter and the
+/// jitter stream never collides with the arrival lanes.
+const RETRY_JITTER_SALT: u64 = 0x6F76_6572_6C6F_6164; // "overload"
 
 /// A declarative description of one traffic experiment: how many jobs,
 /// at what offered load, in what class mix, queued how.
@@ -74,6 +88,18 @@ pub struct TrafficPlan {
     pub concurrency: u32,
     /// Queueing discipline for jobs waiting behind the limit.
     pub discipline: Discipline,
+    /// Per-job relative deadlines, drawn uniformly from this
+    /// microsecond range on the deadline fate lane; `None` = no
+    /// deadlines (the default).
+    pub deadline_us: Option<(u64, u64)>,
+    /// Bounded admission queue; `None` = unbounded (the default).
+    pub queue_cap: Option<u32>,
+    /// Shed deadline-expired waiters before admission (off by default).
+    pub deadline_shedding: bool,
+    /// Deterministic client retries for refused jobs (off by default).
+    pub retry: Option<RetryPolicy>,
+    /// Per-tenant circuit breaker (off by default).
+    pub breaker: Option<BreakerPolicy>,
 }
 
 impl TrafficPlan {
@@ -91,6 +117,11 @@ impl TrafficPlan {
             tenants: 3,
             concurrency: 8,
             discipline: Discipline::Fifo,
+            deadline_us: None,
+            queue_cap: None,
+            deadline_shedding: false,
+            retry: None,
+            breaker: None,
         }
     }
 
@@ -146,6 +177,79 @@ impl TrafficPlan {
         self
     }
 
+    /// Give every job a relative deadline drawn uniformly from
+    /// `[lo_us, hi_us]` microseconds on its own fate lane. Deadlines
+    /// alone are pure SLO bookkeeping; combine with
+    /// [`Self::with_deadline_shedding`] to also shed expired waiters.
+    pub fn with_deadlines(mut self, lo_us: u64, hi_us: u64) -> Self {
+        assert!(lo_us >= 1 && hi_us >= lo_us, "bad deadline range");
+        self.deadline_us = Some((lo_us, hi_us));
+        self
+    }
+
+    /// Bound the admission queue: arrivals beyond `cap` waiters are
+    /// rejected at the door.
+    pub fn with_queue_cap(mut self, cap: u32) -> Self {
+        assert!(cap >= 1, "queue cap must admit at least one waiter");
+        self.queue_cap = Some(cap);
+        self
+    }
+
+    /// Shed queued jobs whose deadline expired before admission.
+    pub fn with_deadline_shedding(mut self) -> Self {
+        self.deadline_shedding = true;
+        self
+    }
+
+    /// Refused jobs retry up to `budget` times with capped exponential
+    /// backoff (`base_us`, doubling, capped at `cap_us`) plus jitter
+    /// from a fate lane salted off the plan seed.
+    pub fn with_retries(mut self, budget: u32, base_us: u64, cap_us: u64) -> Self {
+        assert!(base_us >= 1 && cap_us >= base_us, "bad retry backoff");
+        self.retry = Some(RetryPolicy {
+            budget,
+            base: VirtualDuration::from_us(base_us),
+            cap: VirtualDuration::from_us(cap_us),
+            jitter_seed: self.seed ^ RETRY_JITTER_SALT,
+        });
+        self
+    }
+
+    /// Arm the per-tenant circuit breaker: open after `open_after`
+    /// rejections among the last `window` door decisions, half-open
+    /// probe after `probe_after_us`.
+    pub fn with_breaker(mut self, window: u32, open_after: u32, probe_after_us: u64) -> Self {
+        assert!(
+            window >= 1 && open_after >= 1 && open_after <= window && probe_after_us >= 1,
+            "bad breaker configuration"
+        );
+        self.breaker = Some(BreakerPolicy {
+            window,
+            open_after,
+            probe_after: VirtualDuration::from_us(probe_after_us),
+        });
+        self
+    }
+
+    /// The overload policy this plan installs (default = all-off).
+    pub fn policy(&self) -> OverloadPolicy {
+        OverloadPolicy {
+            queue_cap: self.queue_cap,
+            deadline_shedding: self.deadline_shedding,
+            retry: self.retry,
+            breaker: self.breaker,
+        }
+    }
+
+    /// True when this plan can refuse work: some arrivals may end
+    /// `Rejected`/`Expired` instead of `Completed`, so drains are judged
+    /// by terminal accounting rather than completion count.
+    pub fn can_refuse(&self) -> bool {
+        self.queue_cap.is_some()
+            || self.breaker.is_some()
+            || (self.deadline_shedding && self.deadline_us.is_some())
+    }
+
     /// True if the plan generates no traffic; installing a trivial plan
     /// is a no-op, leaving the runtime byte-identical to one that never
     /// saw a plan.
@@ -182,12 +286,18 @@ impl TrafficPlan {
             let home = NodeId((stream_word(self.seed, LANE_HOME, k) % nodes as u64) as u16);
             let tenant = (stream_word(self.seed, LANE_TENANT, k) % self.tenants as u64) as u16;
             let key = stream_word(self.seed, LANE_KEY, k);
+            let deadline = self.deadline_us.map(|(lo, hi)| {
+                let span = hi - lo + 1;
+                let us = lo + word_bounded(stream_word(self.seed, LANE_DEADLINE, k), span);
+                VirtualDuration::from_us(us)
+            });
 
             let (func, args) = fns.root(class, k as u32, size.max(1), key);
             out.push(JobArrival {
                 class,
                 tenant,
                 arrive: VirtualTime::from_ns((at_us * 1_000.0).round() as u64),
+                deadline,
                 home,
                 func,
                 args,
@@ -206,7 +316,14 @@ impl TrafficPlan {
         }
         let fns = classes::register(rt);
         let arrivals = self.arrivals(&fns, rt.num_nodes());
-        rt.install_traffic(arrivals, self.concurrency, self.discipline);
+        let policy = self.policy();
+        if policy.is_default() {
+            // The legacy entry point: a knob-free plan takes the exact
+            // code path it took before the overload plane existed.
+            rt.install_traffic(arrivals, self.concurrency, self.discipline);
+        } else {
+            rt.install_traffic_with(arrivals, self.concurrency, self.discipline, policy);
+        }
     }
 }
 
@@ -280,9 +397,16 @@ pub fn run_traffic_on(plan: &TrafficPlan, cfg: MachineConfig, seed: u64) -> Traf
     if !plan.is_trivial() {
         let t = report.traffic.as_ref().expect("plan installed no traffic");
         assert_eq!(
-            t.completed, t.arrived,
-            "traffic stream did not drain: {t:?}"
+            t.completed + t.rejected + t.expired,
+            t.arrived,
+            "traffic stream did not drain to terminal outcomes: {t:?}"
         );
+        if !plan.can_refuse() {
+            assert_eq!(
+                t.completed, t.arrived,
+                "a plan that cannot refuse must complete everything: {t:?}"
+            );
+        }
         assert!(t.is_conserved(), "job accounting leak: {t:?}");
     }
     TrafficRun { report }

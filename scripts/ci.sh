@@ -51,6 +51,14 @@ cmp /tmp/traffic_smoke_a.json /tmp/traffic_smoke_b.json
 grep -q '"experiment":"traffic"' /tmp/traffic_smoke_a.json
 grep -q '"variant":"crashed"' /tmp/traffic_smoke_a.json
 
+echo "== overload smoke (goodput under saturation, defenses off vs on, byte-identical reruns) =="
+cargo run --release --offline -p earth-bench --bin repro -- overload --smoke --json > /tmp/overload_smoke_a.json
+cargo run --release --offline -p earth-bench --bin repro -- overload --smoke --json > /tmp/overload_smoke_b.json
+cmp /tmp/overload_smoke_a.json /tmp/overload_smoke_b.json
+grep -q '"experiment":"overload"' /tmp/overload_smoke_a.json
+grep -q '"variant":"naive"' /tmp/overload_smoke_a.json
+grep -q '"variant":"defended_crashed"' /tmp/overload_smoke_a.json
+
 echo "== topology scale full (1024 nodes; terminates inside the smoke budget) =="
 cargo run --release --offline -p earth-bench --bin repro -- scale --json > /tmp/scale_full.json
 grep -q '"nodes":\[20,64,256,1024\]' /tmp/scale_full.json
