@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--json] [table1|fig2|table2|fig4|fig5|table3|fig7|fig8|ablation|dual|profile|faults|crashes|scale|traffic|overload|bench|all]
+//! repro [--quick] [--json] [table1|fig2|table2|fig4|fig5|table3|fig7|fig8|ablation|dual|profile|faults|crashes|scale|traffic|overload|stragglers|bench|all]
 //! ```
 //!
 //! `--quick` shrinks matrices and seed counts (same shapes, CI speed).
@@ -48,6 +48,15 @@
 //! off and on, plus lossy + crashed chaos variants at the heaviest
 //! load (`--smoke` shrinks the streams to CI size). Fixed-seed, so
 //! `repro overload --json` is a diffable artifact.
+//!
+//! `stragglers` (not part of `all`) runs the gray-failure sweep:
+//! goodput vs fail-slow severity for the same deadlined job stream with
+//! the straggler defenses (outlier detection, hedged retransmits,
+//! quarantine-aware placement, speculative re-homing) off and on, over
+//! a slowdown-factor × machine-size grid, plus lossy + crashed chaos
+//! variants at the heaviest point (`--smoke` shrinks the streams to CI
+//! size). Fixed-seed, so `repro stragglers --json` is a diffable
+//! artifact.
 
 use earth_bench::*;
 
@@ -181,6 +190,15 @@ fn main() {
             overload_smoke()
         } else {
             overload_table()
+        };
+        println!("{}", if json { t.to_json() } else { t.render() });
+    }
+    if what.contains(&"stragglers") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let t = if smoke {
+            stragglers_smoke()
+        } else {
+            stragglers_table()
         };
         println!("{}", if json { t.to_json() } else { t.render() });
     }

@@ -97,6 +97,7 @@ pub fn chrome_trace_json(profile: &RunProfile) -> String {
             Activity::Poll => "poll",
             Activity::Steal => "steal",
             Activity::Retransmit => "retransmit",
+            Activity::Hedge => "hedge",
             Activity::Su => "su",
             Activity::Heartbeat => "heartbeat",
             Activity::Checkpoint => "checkpoint",

@@ -376,6 +376,44 @@ impl crate::overload_sweep::OverloadTable {
     }
 }
 
+impl crate::straggler_sweep::StragglerTable {
+    /// JSON record. Every value is a pure function of the fixed seeds
+    /// and plans, so the record is byte-identical across invocations.
+    pub fn to_json(&self) -> String {
+        let mut cells = String::from("[");
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                cells.push(',');
+            }
+            let _ = write!(
+                cells,
+                "{{\"variant\":\"{}\",\"factor\":{},\"nodes\":{},\"jobs\":{},\"completed\":{},\"attained\":{},\"goodput\":{},\"slow_windows\":{},\"hedges_sent\":{},\"hedges_won\":{},\"quarantines\":{},\"speculated\":{},\"p99_us\":{},\"makespan_us\":{}}}",
+                c.variant,
+                num(c.factor),
+                c.nodes,
+                c.slo.jobs,
+                c.slo.completed,
+                c.slo.attained,
+                num(c.slo.goodput()),
+                c.slow_windows,
+                c.hedges_sent,
+                c.hedges_won,
+                c.quarantines,
+                c.speculated,
+                num(c.p99_us),
+                num(c.makespan.as_us_f64())
+            );
+        }
+        cells.push(']');
+        format!(
+            "{{\"experiment\":\"stragglers\",\"jobs\":{},\"factors\":{},\"node_counts\":{},\"cells\":{cells}}}",
+            self.jobs,
+            series(&self.factors),
+            nodes_list(&self.node_counts)
+        )
+    }
+}
+
 impl CommsAblation {
     /// JSON record.
     pub fn to_json(&self) -> String {

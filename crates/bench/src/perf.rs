@@ -222,6 +222,27 @@ pub fn run_sweeps(smoke: bool) -> Vec<SweepResult> {
         earth_traffic::run_traffic(&t_over, tn, 42).report
     }));
 
+    // -- Gray-failure defenses --------------------------------------------
+    // The high-load stream with one node 8× fail-slow for the whole run
+    // and the full straggler plane armed: RTT-EWMA updates on every
+    // first-transmission ack, hedge scheduling on every fresh send, and
+    // the quarantine checks on the steal and home-routing paths are the
+    // new hot-path work, so a regression there lands on this number.
+    let straggled = earth_machine::FaultPlan::new()
+        .with_node_slowdown(
+            tn / 2,
+            VirtualTime::from_ns(50_000),
+            VirtualTime::from_ns(1_000_000_000),
+            8.0,
+        )
+        .with_slow_detector(3.0, 3)
+        .with_hedging(6.0)
+        .with_quarantine(VirtualDuration::from_us(20_000))
+        .with_speculative_rehoming();
+    out.push(measure("stragglers_defended", tn, reps, || {
+        earth_traffic::run_traffic_faulted(&t_high, tn, 42, &straggled).report
+    }));
+
     // -- Topology scale points ------------------------------------------
     // One 256-node Gröbner run per interconnect: the scan-free hot paths
     // are what make this size affordable, so a regression shows up here

@@ -80,6 +80,7 @@ pub(crate) mod recover;
 pub(crate) mod reli;
 pub mod report;
 pub mod runtime;
+pub(crate) mod slow;
 pub mod trace;
 pub mod traffic;
 

@@ -33,8 +33,11 @@ pub(crate) struct Node {
     /// the front (FIFO gives them the oldest, typically largest work).
     pub(crate) tokens: VecDeque<Token>,
     /// Messages delivered by the network but not yet serviced by the
-    /// polling watchdog, each with its sender's dependency-chain length.
-    pub(crate) pending: VecDeque<(Msg, VirtualDuration)>,
+    /// polling watchdog, each with its sender's dependency-chain length
+    /// and its NIC arrival instant (the straggler detector anchors RTT
+    /// samples there — service time would fold the *observer's* polling
+    /// delay into the remote node's estimate).
+    pub(crate) pending: VecDeque<(Msg, VirtualDuration, VirtualTime)>,
     /// Application-defined node-local state (replicated matrices, weight
     /// slices, polynomial caches, ...).
     pub(crate) user: Option<Box<dyn Any>>,

@@ -50,6 +50,9 @@ pub struct NodeProfile {
     /// Reliability-layer retransmissions issued from the watchdog (fault
     /// plans only; always zero on a fault-free run).
     pub retransmit: VirtualDuration,
+    /// Hedged retransmits of still-unacked first transmissions
+    /// (straggler defenses only; always zero otherwise).
+    pub hedge: VirtualDuration,
     /// Failure-detector probes sent (crash plans only).
     pub heartbeat: VirtualDuration,
     /// Periodic checkpoint captures (crash plans only).
@@ -77,6 +80,7 @@ impl NodeProfile {
             + self.token
             + self.steal
             + self.retransmit
+            + self.hedge
             + self.heartbeat
             + self.checkpoint
             + self.recover
@@ -147,7 +151,7 @@ impl RunProfile {
         for (i, (p, s)) in self.nodes.iter().zip(&report.nodes).enumerate() {
             if p.eu_total() != s.busy {
                 return Err(format!(
-                    "node {i}: poll+thread+token+steal+retransmit+hb+ckpt+recover = {} but busy = {}",
+                    "node {i}: poll+thread+token+steal+retransmit+hedge+hb+ckpt+recover = {} but busy = {}",
                     p.eu_total(),
                     s.busy
                 ));
@@ -203,6 +207,7 @@ impl RunProfile {
         b.push("poll service", sum(|p| p.poll));
         b.push("steal traffic", sum(|p| p.steal));
         b.push("retransmit", sum(|p| p.retransmit));
+        b.push("hedge", sum(|p| p.hedge));
         b.push("heartbeat", sum(|p| p.heartbeat));
         b.push("checkpoint", sum(|p| p.checkpoint));
         b.push("recovery", sum(|p| p.recover));
@@ -350,6 +355,7 @@ mod tests {
             "poll service",
             "steal traffic",
             "retransmit",
+            "hedge",
             "heartbeat",
             "checkpoint",
             "recovery",

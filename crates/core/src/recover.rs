@@ -86,8 +86,12 @@ pub(crate) struct RecoverState {
     pub(crate) restore_cost: VirtualDuration,
     pub(crate) crashes: Vec<PlannedCrash>,
     pub(crate) health: Vec<Health>,
-    /// Detector view: `suspected[i]` keeps the balancer off node `i`.
-    pub(crate) suspected: Vec<bool>,
+    /// Crash-detector view: `suspected_dead[i]` keeps the balancer off
+    /// node `i` and (for failover crashes) triggers its restart. Named
+    /// to stay distinct from the straggler detector's *Suspected-Slow*
+    /// state (`slow.rs`): a slow-but-alive node is quarantined, never
+    /// declared dead — its NIC still acks, so heartbeats never expire.
+    pub(crate) suspected_dead: Vec<bool>,
     /// Per monitor: instant of the last ack received from its ring
     /// successor (the probe target). `ZERO` until the first ack.
     pub(crate) last_ack_from: Vec<VirtualTime>,
@@ -142,7 +146,7 @@ impl RecoverState {
                 })
                 .collect(),
             health: vec![Health::Up; n],
-            suspected: vec![false; n],
+            suspected_dead: vec![false; n],
             last_ack_from: vec![VirtualTime::ZERO; n],
             busy_since_ckpt: vec![VirtualDuration::ZERO; n],
             lost_work: vec![VirtualDuration::ZERO; n],

@@ -57,6 +57,19 @@ pub(crate) struct Pending {
     pub(crate) attempts: u32,
     /// Retransmit once virtual time reaches this instant.
     pub(crate) deadline: VirtualTime,
+    /// Instant of the original send — the ack observed against it is the
+    /// round-trip sample the straggler detector's EWMA consumes (only
+    /// when `attempts == 0`, so retransmissions never pollute the RTT).
+    pub(crate) sent: VirtualTime,
+    /// The model's own fault-free round-trip estimate for the original
+    /// send (expected arrival plus the ack's return leg). The detector
+    /// samples the observed RTT *as a ratio of this*, so payload size
+    /// and sender-link queueing — both priced into the estimate — never
+    /// masquerade as destination slowness.
+    pub(crate) expected_rtt: VirtualDuration,
+    /// A hedged copy was already re-sent (hedging fires at most once per
+    /// sequence number; receiver-side dedup absorbs the extra copy).
+    pub(crate) hedged: bool,
 }
 
 /// Per-machine reliability state. All maps are ordered (`BTreeMap` /

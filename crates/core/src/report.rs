@@ -49,6 +49,20 @@ pub struct NodeStats {
     /// Total virtual time this node was unavailable: from each crash to
     /// the end of the matching recovery replay (crash plans only).
     pub downtime: VirtualDuration,
+    /// Injected fail-slow windows this node entered (slowdown plans
+    /// only; counts 1.0 → >1.0 transitions of its EU factor).
+    pub slow_windows: u64,
+    /// Hedged retransmits this node sent (hedging armed only).
+    pub hedges_sent: u64,
+    /// Hedges whose destination acked before any timeout retransmission
+    /// — the hedge (or the original it raced) won outright.
+    pub hedges_won: u64,
+    /// Times the straggler detector put this node into Suspected-Slow
+    /// (detector armed only).
+    pub quarantines: u64,
+    /// Tokens speculatively re-homed *off* this node when it was
+    /// quarantined (speculative re-homing armed only).
+    pub speculated: u64,
 }
 
 /// Result of running a simulation to quiescence.
@@ -167,6 +181,41 @@ impl RunReport {
         self.total_crashes() > 0
     }
 
+    /// Total injected fail-slow windows entered across all nodes.
+    pub fn total_slow_windows(&self) -> u64 {
+        self.nodes.iter().map(|n| n.slow_windows).sum()
+    }
+
+    /// Total hedged retransmits sent across all nodes.
+    pub fn total_hedges_sent(&self) -> u64 {
+        self.nodes.iter().map(|n| n.hedges_sent).sum()
+    }
+
+    /// Total hedges acked before any timeout retransmission.
+    pub fn total_hedges_won(&self) -> u64 {
+        self.nodes.iter().map(|n| n.hedges_won).sum()
+    }
+
+    /// Total Suspected-Slow quarantine entries across all nodes.
+    pub fn total_quarantines(&self) -> u64 {
+        self.nodes.iter().map(|n| n.quarantines).sum()
+    }
+
+    /// Total tokens speculatively re-homed off quarantined nodes.
+    pub fn total_speculated(&self) -> u64 {
+        self.nodes.iter().map(|n| n.speculated).sum()
+    }
+
+    /// True when the gray-failure plane (injected slowdowns or armed
+    /// straggler defenses) did anything observable this run.
+    pub fn had_stragglers(&self) -> bool {
+        self.total_slow_windows()
+            + self.total_hedges_sent()
+            + self.total_quarantines()
+            + self.total_speculated()
+            > 0
+    }
+
     /// True when the run left no dangling work or frames behind.
     pub fn is_clean(&self) -> bool {
         self.leftover_tokens == 0
@@ -223,6 +272,19 @@ impl fmt::Display for RunReport {
                 self.total_rehomed(),
                 self.net_crash_dropped,
                 self.total_downtime()
+            )?;
+        }
+        // The stragglers line exists only when the gray-failure plane
+        // acted, so slowdown-free runs render byte-identically.
+        if self.had_stragglers() {
+            writeln!(
+                f,
+                "stragglers: slow-windows {}  hedges {}/{} won  quarantines {}  speculated {}",
+                self.total_slow_windows(),
+                self.total_hedges_won(),
+                self.total_hedges_sent(),
+                self.total_quarantines(),
+                self.total_speculated()
             )?;
         }
         // The traffic line exists only when a plan was installed, so
@@ -432,6 +494,31 @@ mod tests {
         assert!(s.contains("retries 5"), "{s}");
         assert!(s.contains("queue-full 3"), "{s}");
         assert!(s.contains("breaker-opens 1"), "{s}");
+    }
+
+    #[test]
+    fn display_mentions_stragglers_only_when_the_plane_acted() {
+        let clean = format!("{}", report());
+        assert!(!clean.contains("stragglers"), "{clean}");
+        let mut r = report();
+        r.nodes[0].slow_windows = 2;
+        r.nodes[0].quarantines = 1;
+        r.nodes[0].speculated = 3;
+        r.nodes[1].hedges_sent = 5;
+        r.nodes[1].hedges_won = 4;
+        let s = format!("{r}");
+        assert!(s.starts_with(&clean), "base line must stay identical");
+        assert!(s.contains("slow-windows 2"), "{s}");
+        assert!(s.contains("hedges 4/5 won"), "{s}");
+        assert!(s.contains("quarantines 1"), "{s}");
+        assert!(s.contains("speculated 3"), "{s}");
+        assert_eq!(r.total_slow_windows(), 2);
+        assert_eq!(r.total_hedges_sent(), 5);
+        assert_eq!(r.total_hedges_won(), 4);
+        assert_eq!(r.total_quarantines(), 1);
+        assert_eq!(r.total_speculated(), 3);
+        assert!(r.had_stragglers());
+        assert!(r.is_clean(), "straggler counters do not dirty a run");
     }
 
     #[test]

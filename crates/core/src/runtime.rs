@@ -20,6 +20,7 @@ use crate::profile::{ProfileState, RunProfile};
 use crate::recover::{Health, RecoverState};
 use crate::reli::{Envelope, Pending, ReliLayer, ACK_WIRE, ENV_BYTES};
 use crate::report::RunReport;
+use crate::slow::{SlowState, SlowTransition};
 use crate::trace::{Activity, Span, Trace};
 use crate::traffic::{Admission, Discipline, JobArrival, OverloadPolicy, TrafficState};
 use earth_machine::{MachineConfig, NetFate, Network, NodeId, OpClass};
@@ -76,6 +77,15 @@ pub(crate) enum Event {
     /// backoff plus counter-addressed jitter — so retry storms replay
     /// byte-identically.
     JobRetry(u32),
+    /// A hedge timer on `node`'s reliable message `(dst, seq)` fired: if
+    /// the first transmission is still unacked and untouched by the
+    /// timeout retransmitter, re-send the same envelope now instead of
+    /// waiting out the full deadline (straggler defenses only).
+    HedgeCheck {
+        node: NodeId,
+        dst: u16,
+        seq: u64,
+    },
 }
 
 type Ctor = Box<dyn Fn(&mut ArgsReader<'_>) -> Box<dyn ThreadedFn>>;
@@ -105,6 +115,15 @@ pub struct Runtime {
     /// schedules crash windows; every other run (fault plan or not)
     /// never allocates a detector, checkpoint, or recovery structure.
     recover: Option<RecoverState>,
+    /// Straggler-defense plane — `Some` exactly when the installed fault
+    /// plan arms a slow detector or hedging (`has_straggler_defenses`);
+    /// every other run never allocates EWMAs or quarantine state.
+    slow: Option<SlowState>,
+    /// Per-node "was inside a slowdown window last round" flags, sized
+    /// only when the plan schedules node slowdowns (empty otherwise, so
+    /// clean runs skip the per-round factor query entirely). Drives the
+    /// `slow_windows` transition counter.
+    slow_flags: Vec<bool>,
     /// Admission front-end — `Some` exactly when a non-empty traffic
     /// plan is installed; plain batch runs never touch it.
     traffic: Option<TrafficState>,
@@ -141,6 +160,14 @@ impl Runtime {
         let recover = plan
             .filter(|p| p.has_crashes())
             .map(|p| RecoverState::new(p, net.config().nodes));
+        let slow = plan
+            .filter(|p| p.has_straggler_defenses())
+            .map(|p| SlowState::new(p, net.config().nodes));
+        let slow_flags = if plan.is_some_and(|p| !p.slowdowns.is_empty()) {
+            vec![false; net.config().nodes as usize]
+        } else {
+            Vec::new()
+        };
         let mut events = SimQueue::new(net.config().queue);
         if let Some(rec) = recover.as_ref() {
             // Arm the crash plane: planned crashes (and scheduled
@@ -162,6 +189,8 @@ impl Runtime {
             net,
             reli,
             recover,
+            slow,
+            slow_flags,
             traffic: None,
             events,
             funcs: Vec::new(),
@@ -430,7 +459,7 @@ impl Runtime {
             // Never hand a root token to a node that is down: its NIC
             // would drop the unreliable delivery and strand the job. Walk
             // to the next live node (deterministic given the plans).
-            let home = self.live_home(home);
+            let home = self.live_home(t, home);
             self.global_tokens += 1;
             self.events.push(
                 t,
@@ -439,15 +468,32 @@ impl Runtime {
         }
     }
 
-    /// `home`, or the next node (ascending, wrapping) that is not crashed.
-    fn live_home(&self, home: NodeId) -> NodeId {
-        let Some(rec) = self.recover.as_ref() else {
+    /// Whether the straggler plane currently quarantines node `i` (false
+    /// whenever no defense plane is armed). Pure, like the underlying
+    /// predicate, so index-vs-scan equivalence assertions stay valid.
+    fn node_quarantined(&self, i: usize, t: VirtualTime) -> bool {
+        self.slow.as_ref().is_some_and(|s| s.is_quarantined(i, t))
+    }
+
+    /// `home`, or the next node (ascending, wrapping) that is neither
+    /// crashed nor quarantined. If *every* live node is quarantined the
+    /// second pass settles for merely-live — refusing all placement
+    /// would strand the job, and mass quarantine means the relative
+    /// outlier test is about to clear somebody anyway.
+    fn live_home(&self, t: VirtualTime, home: NodeId) -> NodeId {
+        if self.recover.is_none() && self.slow.is_none() {
             return home;
-        };
+        }
         let n = self.nodes.len();
+        let down = |cand: NodeId| self.recover.as_ref().is_some_and(|r| r.is_down(cand));
         (0..n)
             .map(|step| NodeId(((home.index() + step) % n) as u16))
-            .find(|&cand| !rec.is_down(cand))
+            .find(|&cand| !down(cand) && !self.node_quarantined(cand.index(), t))
+            .or_else(|| {
+                (0..n)
+                    .map(|step| NodeId(((home.index() + step) % n) as u16))
+                    .find(|&cand| !down(cand))
+            })
             .unwrap_or(home)
     }
 
@@ -493,6 +539,7 @@ impl Runtime {
                 Event::JobArrive(k) => self.job_arrive(t, k),
                 Event::JobDone(k) => self.job_done_at(t, k),
                 Event::JobRetry(k) => self.job_retry(t, k),
+                Event::HedgeCheck { node, dst, seq } => self.hedge_check(t, node, dst, seq),
             }
         }
         self.report()
@@ -597,6 +644,7 @@ impl Runtime {
         // plus the backoff margin. Receiver service time is *not* in the
         // ack path — the NIC acks on arrival — so this stays tight.
         let ack_leg = self.net.transfer_time(dst, src, ACK_WIRE);
+        let expected_rtt = r.expected.since(at) + ack_leg;
         let reli = self.reli.as_mut().unwrap();
         let deadline = r.expected + ack_leg + reli.backoff(attempts);
         match reli.unacked[src.index()].entry((dst.0, seq)) {
@@ -606,10 +654,45 @@ impl Runtime {
                     cp,
                     attempts,
                     deadline,
+                    sent: at,
+                    expected_rtt,
+                    hedged: false,
                 });
             }
             std::collections::btree_map::Entry::Occupied(mut e) => {
                 e.get_mut().deadline = deadline;
+            }
+        }
+        if resend.is_none() {
+            if let Some(hf) = self.slow.as_ref().and_then(|s| s.hedge_factor) {
+                // Hedged retransmit (straggler defenses): arm a timer at
+                // this message's expected round trip, scaled by the
+                // destination's observed slowness ratio (1.0 before the
+                // first sample) and the plan's hedge factor. A
+                // straggler's inflated EWMA pushes its hedge point out
+                // proportionally, so hedges fire on *unusual* lateness.
+                // The delay is floored at the plan's RTO margin: a small
+                // message's ack stuck head-of-line behind a bulk
+                // transfer is late by an *absolute* amount no ratio
+                // threshold can screen out, and hedging those would
+                // flood healthy links with duplicate payloads.
+                let slowness = self
+                    .slow
+                    .as_ref()
+                    .unwrap()
+                    .ewma_permille(dst.index())
+                    .unwrap_or(1000);
+                let base_ns = expected_rtt.as_ns().saturating_mul(slowness) / 1000;
+                let delay = VirtualDuration::from_ns((base_ns as f64 * hf) as u64)
+                    .max(self.reli.as_ref().unwrap().rto);
+                self.events.push(
+                    at + delay,
+                    Event::HedgeCheck {
+                        node: src,
+                        dst: dst.0,
+                        seq,
+                    },
+                );
             }
         }
         let env = Some(Envelope { src, seq });
@@ -677,7 +760,7 @@ impl Runtime {
             }
         }
         let n = &mut self.nodes[node.index()];
-        n.pending.push_back((msg, cp));
+        n.pending.push_back((msg, cp, t));
         if !n.busy && !n.wake_pending {
             n.wake_pending = true;
             self.events.push(t, Event::Wake(node));
@@ -697,6 +780,73 @@ impl Runtime {
             if !n.busy && !n.wake_pending {
                 n.wake_pending = true;
                 self.events.push(t, Event::Wake(node));
+            }
+        }
+    }
+
+    /// A hedge timer fired: the first transmission of `(dst, seq)` took
+    /// longer than the destination's usual round trip. If it is still
+    /// unacked, not yet timeout-retransmitted, and not already hedged,
+    /// re-send the same envelope now — the receiver's watermark dedups
+    /// whichever copy loses the race, and the timeout retransmitter's
+    /// deadline is deliberately left untouched (the hedge is a bet, not
+    /// a reschedule). Stale checks cost nothing.
+    fn hedge_check(&mut self, t: VirtualTime, node: NodeId, dst: u16, seq: u64) {
+        // A down sender hedges nothing; its held messages replay through
+        // the ordinary retransmission path after recovery.
+        if self.recover.as_ref().is_some_and(|r| r.is_down(node)) {
+            return;
+        }
+        let Some(reli) = self.reli.as_mut() else {
+            return;
+        };
+        let Some(p) = reli.unacked[node.index()].get_mut(&(dst, seq)) else {
+            return; // acked in the meantime: the common, free case
+        };
+        if p.attempts > 0 || p.hedged {
+            return; // the timeout path beat us to it, or already hedged
+        }
+        p.hedged = true;
+        let (msg, cp) = (p.msg.clone(), p.cp);
+        let cost = self.config().earth.op_send;
+        let n = &mut self.nodes[node.index()];
+        n.stats.hedges_sent += 1;
+        n.stats.msgs_out += 1;
+        n.stats.busy += cost;
+        self.last_activity = self.last_activity.max_of(t + cost);
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(node, t, t + cost, Activity::Hedge);
+        }
+        if let Some(prof) = self.profile.as_mut() {
+            prof.nodes[node.index()].hedge += cost;
+        }
+        if let Some(rec) = self.recover.as_mut() {
+            rec.busy_since_ckpt[node.index()] += cost;
+        }
+        // Re-send under the *same* envelope, bypassing transmit_reliable:
+        // the sequence number, attempt counter, and deadline all stay
+        // put, so with the plane disabled nothing here ever runs and the
+        // retransmission schedule is byte-identical.
+        let dst = NodeId(dst);
+        let r = self
+            .net
+            .send_resolved(t + cost, node, dst, msg.wire_size() + ENV_BYTES);
+        let env = Some(Envelope { src: node, seq });
+        match r.fate {
+            NetFate::Delivered { arrive } => self.events.push(
+                arrive,
+                Event::Deliver(dst, msg, cp + arrive.since(r.depart), env),
+            ),
+            NetFate::Dropped => {}
+            NetFate::Duplicated { first, second } => {
+                self.events.push(
+                    first,
+                    Event::Deliver(dst, msg.clone(), cp + first.since(r.depart), env),
+                );
+                self.events.push(
+                    second,
+                    Event::Deliver(dst, msg, cp + second.since(r.depart), env),
+                );
             }
         }
     }
@@ -738,7 +888,7 @@ impl Runtime {
         rec.crashes[i].resolved = true;
         let node = rec.crashes[i].node as usize;
         rec.mark_up(node);
-        rec.suspected[node] = false;
+        rec.suspected_dead[node] = false;
         let replay = rec.restore_cost + rec.lost_work[node];
         rec.lost_work[node] = VirtualDuration::ZERO;
         // The replay ends in crash-time state, freshly re-checkpointed.
@@ -865,32 +1015,62 @@ impl Runtime {
             return; // a dead monitor detects nothing
         }
         let target = rec.target_of(m);
-        if rec.suspected[target.index()] || rec.last_ack_from[m] > sent {
+        if rec.suspected_dead[target.index()] || rec.last_ack_from[m] > sent {
             return; // already declared, or the target proved alive since
         }
-        rec.suspected[target.index()] = true;
-        if rec.is_down(target) {
+        let actually_down = rec.is_down(target);
+        // Straggler guard: a Suspected-Slow node is alive — its acks all
+        // arrive, just late — so the crash detector must never escalate
+        // it to Suspected-Dead, which would failover-restart a healthy
+        // node and re-execute work it never lost. A node that really did
+        // crash while also suspected slow still fails over: the crash,
+        // not the latency, is what the recovery machinery answers.
+        if !actually_down
+            && self
+                .slow
+                .as_ref()
+                .is_some_and(|s| s.suspected_slow(target.index()))
+        {
+            return;
+        }
+        let rec = self.recover.as_mut().unwrap();
+        rec.suspected_dead[target.index()] = true;
+        if actually_down {
             if let Some(i) = rec.pending_failover(target) {
                 rec.crashes[i].recovery_scheduled = true;
                 self.events.push(t, Event::Recover(i));
             }
         }
-        self.rehome_tokens(t, monitor, target);
+        self.rehome_tokens(t, monitor, target, false);
     }
 
     /// Graceful degradation: the monitor adopts the declared node's
     /// queued tokens (recoverable from its buddy checkpoint) and spreads
     /// them round-robin over the surviving nodes, so the work finishes
-    /// without the crashed node.
-    fn rehome_tokens(&mut self, t: VirtualTime, monitor: NodeId, target: NodeId) {
+    /// without the crashed node. With `speculative` the same machinery
+    /// serves the straggler plane: a freshly *quarantined* node's queued
+    /// tokens are re-homed onto un-quarantined peers — the node is alive
+    /// and keeps whatever it is currently running, but work it has not
+    /// started yet should not wait out its slowdown.
+    fn rehome_tokens(
+        &mut self,
+        t: VirtualTime,
+        monitor: NodeId,
+        target: NodeId,
+        speculative: bool,
+    ) {
         let orphans: Vec<Token> = self.nodes[target.index()].tokens.drain(..).collect();
         self.sync_token_index(target.index());
         if orphans.is_empty() {
             return;
         }
-        let rec = self.recover.as_ref().unwrap();
+        let rec = self.recover.as_ref();
         let mut survivors: Vec<NodeId> = (0..self.nodes.len())
-            .filter(|&i| rec.health[i] == Health::Up && !rec.suspected[i])
+            .filter(|&i| {
+                i != target.index()
+                    && rec.is_none_or(|r| r.health[i] == Health::Up && !r.suspected_dead[i])
+                    && !self.node_quarantined(i, t)
+            })
             .map(|i| NodeId(i as u16))
             .collect();
         if survivors.is_empty() {
@@ -902,7 +1082,13 @@ impl Runtime {
         for (k, token) in orphans.into_iter().enumerate() {
             let dst = survivors[k % survivors.len()];
             elapsed += costs.token_op + costs.op_send;
-            self.nodes[monitor.index()].stats.rehomed += 1;
+            if speculative {
+                // The stat belongs to the quarantined node: "this much of
+                // my backlog was speculatively re-executed elsewhere".
+                self.nodes[target.index()].stats.speculated += 1;
+            } else {
+                self.nodes[monitor.index()].stats.rehomed += 1;
+            }
             // The re-homed token's chain now includes its adoption cost.
             self.transmit(
                 t + elapsed,
@@ -960,6 +1146,34 @@ impl Runtime {
         let costs = self.config().earth;
         let mut elapsed = VirtualDuration::ZERO;
 
+        // Fail-slow plane: inside a planned slowdown window every EU/SU
+        // cost this round stretches by the window's factor — the node
+        // keeps working, just slower, which is exactly what distinguishes
+        // gray failure from the crash plane's fail-stop. The factor is
+        // queried through the precompiled-segment cursor (event-loop pop
+        // times are globally non-decreasing, so the forward-only cursor
+        // is safe here, unlike the network's send path). `slow_flags` is
+        // empty unless the plan schedules slowdowns, so clean runs skip
+        // the query and `scale` is exact identity (1.0 shortcuts below).
+        let slow_factor = if self.slow_flags.is_empty() {
+            1.0
+        } else {
+            let f = self.net.slow_factor(node, t);
+            let idx = node.index();
+            if f > 1.0 && !self.slow_flags[idx] {
+                self.nodes[idx].stats.slow_windows += 1;
+            }
+            self.slow_flags[idx] = f > 1.0;
+            f
+        };
+        let scale = |d: VirtualDuration| -> VirtualDuration {
+            if slow_factor != 1.0 {
+                d.scaled(slow_factor)
+            } else {
+                d
+            }
+        };
+
         // Polling watchdog: service everything the NIC has. In the
         // dual-processor configuration the Synchronization Unit does this
         // concurrently, so the Execution Unit's clock does not advance —
@@ -967,10 +1181,10 @@ impl Runtime {
         // is not quiescent until it drains.
         let dual = self.config().dual_processor;
         let mut su_round = VirtualDuration::ZERO;
-        while let Some((msg, cp_in)) = self.nodes[node.index()].pending.pop_front() {
+        while let Some((msg, cp_in, arrived)) = self.nodes[node.index()].pending.pop_front() {
             self.nodes[node.index()].stats.msgs_in += 1;
             let class = msg.op_class();
-            let cost = self.handle_msg(t + elapsed, node, msg, cp_in);
+            let cost = scale(self.handle_msg(t + elapsed, node, msg, cp_in, arrived));
             self.max_cp = self.max_cp.max(cp_in + cost);
             if dual {
                 self.nodes[node.index()].stats.su_time += cost;
@@ -1028,7 +1242,7 @@ impl Runtime {
                     (p.msg.clone(), p.cp, p.attempts)
                 };
                 self.nodes[node.index()].stats.retransmits += 1;
-                elapsed += costs.op_send;
+                elapsed += scale(costs.op_send);
                 self.transmit_reliable(
                     t + elapsed,
                     node,
@@ -1052,20 +1266,21 @@ impl Runtime {
 
         let mut activity = Activity::Poll;
         if let Some((frame, tid, cp)) = self.nodes[node.index()].ready.pop_front() {
-            elapsed += costs.thread_switch;
-            elapsed += self.run_thread(t + elapsed, node, frame, tid, cp + costs.thread_switch);
+            elapsed += scale(costs.thread_switch);
+            elapsed +=
+                scale(self.run_thread(t + elapsed, node, frame, tid, cp + costs.thread_switch));
             activity = Activity::Thread;
         } else if let Some(token) = self.nodes[node.index()].tokens.pop_back() {
             self.sync_token_index(node.index());
             self.global_tokens -= 1;
             self.nodes[node.index()].stats.tokens_run += 1;
-            elapsed += costs.token_op + costs.frame_setup;
+            elapsed += scale(costs.token_op + costs.frame_setup);
             let cp0 = token.cp + costs.token_op + costs.frame_setup;
             let frame = self.instantiate(node, token.func, &token.args);
-            elapsed += self.run_thread(t + elapsed, node, frame, ThreadId(0), cp0);
+            elapsed += scale(self.run_thread(t + elapsed, node, frame, ThreadId(0), cp0));
             activity = Activity::TokenRun;
         } else if self.should_steal(t, node) {
-            elapsed += self.try_steal(t, node);
+            elapsed += scale(self.try_steal(t, node));
             activity = Activity::Steal;
         }
         if let Some(tr) = self.trace.as_mut() {
@@ -1084,6 +1299,7 @@ impl Runtime {
                     Activity::Poll
                     | Activity::Su
                     | Activity::Retransmit
+                    | Activity::Hedge
                     | Activity::Heartbeat
                     | Activity::Checkpoint
                     | Activity::Recover => {
@@ -1132,11 +1348,12 @@ impl Runtime {
     /// debug builds (the same scan-vs-index proof template as the fault
     /// plane's `pause_until` cursor), and the property suite drives the
     /// two through randomized mutation sequences.
-    fn steal_victims_scan(&self, node: NodeId) -> Vec<NodeId> {
+    fn steal_victims_scan(&self, node: NodeId, t: VirtualTime) -> Vec<NodeId> {
         let avoid = |i: usize| {
             self.recover
                 .as_ref()
-                .is_some_and(|r| r.suspected[i] || r.health[i] == Health::Down)
+                .is_some_and(|r| r.suspected_dead[i] || r.health[i] == Health::Down)
+                || self.node_quarantined(i, t)
         };
         (0..self.nodes.len())
             .filter(|&i| i != node.index() && !self.nodes[i].tokens.is_empty() && !avoid(i))
@@ -1151,18 +1368,28 @@ impl Runtime {
             && self.global_tokens > 0
             && !n.stealing
             && t >= n.steal_cooldown
+            // Quarantine cuts both ways: a Suspected-Slow node also stops
+            // *taking* work. A stolen root token pins its frame to the
+            // thief, so every steal by a straggler converts movable work
+            // into work welded to the slowest node in the machine. It
+            // drains what it has and sits out its quarantine instead.
+            && !self.node_quarantined(node.index(), t)
     }
 
     /// Send a steal request to a peer believed to hold tokens. Returns the
     /// CPU time spent.
     fn try_steal(&mut self, t: VirtualTime, node: NodeId) -> VirtualDuration {
-        // Graceful degradation: never target a node the detector
+        // Graceful degradation: never target a node the crash detector
         // suspects (or one that is actually down) — a request there
-        // would only stall in its NIC until recovery.
+        // would only stall in its NIC until recovery — nor one the
+        // straggler plane currently quarantines: it would answer, but an
+        // EWMA-multiple later than any healthy victim. (Field borrows,
+        // not `self`, so the scratch take below stays disjoint.)
+        let recover = self.recover.as_ref();
+        let slow = self.slow.as_ref();
         let avoid = |i: usize| {
-            self.recover
-                .as_ref()
-                .is_some_and(|r| r.suspected[i] || r.health[i] == Health::Down)
+            recover.is_some_and(|r| r.suspected_dead[i] || r.health[i] == Health::Down)
+                || slow.is_some_and(|s| s.is_quarantined(i, t))
         };
         let mut victims = std::mem::take(&mut self.steal_scratch);
         victims.clear();
@@ -1178,7 +1405,7 @@ impl Runtime {
         );
         debug_assert_eq!(
             victims,
-            self.steal_victims_scan(node),
+            self.steal_victims_scan(node, t),
             "token-holder index diverged from the reference scan"
         );
         let chosen = self.nodes[node.index()].rng.choose(&victims).copied();
@@ -1224,13 +1451,16 @@ impl Runtime {
     /// Service one message; returns CPU time spent. `cp_in` is the
     /// dependency-chain length behind the message's arrival; every effect
     /// (reply, signal, readied thread) inherits it plus the handling cost
-    /// accrued up to that effect.
+    /// accrued up to that effect. `arrived` is the message's NIC arrival
+    /// instant — `at` minus however long it waited for this poll — used
+    /// only to anchor the straggler detector's RTT samples.
     fn handle_msg(
         &mut self,
         at: VirtualTime,
         node: NodeId,
         msg: Msg,
         cp_in: VirtualDuration,
+        arrived: VirtualTime,
     ) -> VirtualDuration {
         let costs = self.config().earth;
         let comm = self.config().comm;
@@ -1345,11 +1575,13 @@ impl Runtime {
                 }
             }
             Msg::Ack { from, seq } => {
-                if let Some(reli) = self.reli.as_mut() {
-                    // Release the held message; a stale ack (already
-                    // released by an earlier copy) removes nothing.
-                    reli.unacked[node.index()].remove(&(from.0, seq));
-                }
+                // Release the held message; a stale ack (already released
+                // by an earlier copy) removes nothing. The removed entry
+                // feeds the straggler plane below, so keep it.
+                let acked = self
+                    .reli
+                    .as_mut()
+                    .and_then(|r| r.unacked[node.index()].remove(&(from.0, seq)));
                 if let Some(rec) = self.recover.as_mut() {
                     // Failure detector: an ack from our probe target is
                     // its liveness proof; an ack from any live node heals
@@ -1359,7 +1591,31 @@ impl Runtime {
                         *last = last.max_of(at);
                     }
                     if !rec.is_down(from) {
-                        rec.suspected[from.index()] = false;
+                        rec.suspected_dead[from.index()] = false;
+                    }
+                }
+                // Straggler plane: a first-transmission ack is an RTT
+                // sample (retransmitted messages would fold the timeout
+                // into the estimate, so they are excluded), taken as a
+                // permille ratio of the model's own expected round trip
+                // so payload size and sender-link queueing cancel out —
+                // only *anomalous* lateness moves the EWMA. The verdict
+                // can put `from` into quarantine — count the entry and,
+                // if armed, speculatively re-home its backlog.
+                if let Some(p) = acked.filter(|p| p.attempts == 0) {
+                    if p.hedged {
+                        self.nodes[node.index()].stats.hedges_won += 1;
+                    }
+                    let rtt = arrived.since(p.sent).as_ns();
+                    let sample = rtt.saturating_mul(1000) / p.expected_rtt.as_ns().max(1);
+                    let entered = self.slow.as_mut().is_some_and(|s| {
+                        s.observe_rtt(from.index(), sample, at) == SlowTransition::Entered
+                    });
+                    if entered {
+                        self.nodes[from.index()].stats.quarantines += 1;
+                        if self.slow.as_ref().unwrap().speculative {
+                            self.rehome_tokens(at, node, from, true);
+                        }
                     }
                 }
             }
@@ -1509,7 +1765,7 @@ mod tests {
                         .filter(|&&j| j != thief.0)
                         .map(|&j| NodeId(j))
                         .collect();
-                    prop_assert_eq!(fast, rt.steal_victims_scan(thief));
+                    prop_assert_eq!(fast, rt.steal_victims_scan(thief, VirtualTime::ZERO));
                 }
             }
         }
@@ -1538,11 +1794,11 @@ mod tests {
                 }
             }
             for &s in &suspects {
-                rec.suspected[s as usize] = true;
+                rec.suspected_dead[s as usize] = true;
             }
             for thief in 0..6u16 {
                 let thief = NodeId(thief);
-                let scan = rt.steal_victims_scan(thief);
+                let scan = rt.steal_victims_scan(thief, VirtualTime::ZERO);
                 let fast: Vec<NodeId> = rt
                     .token_holders
                     .iter()
@@ -1550,7 +1806,7 @@ mod tests {
                     .filter(|&j| {
                         j != thief.index()
                             && rt.recover.as_ref().is_none_or(|r| {
-                                !r.suspected[j] && r.health[j] == Health::Up
+                                !r.suspected_dead[j] && r.health[j] == Health::Up
                             })
                     })
                     .map(|j| NodeId(j as u16))

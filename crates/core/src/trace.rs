@@ -26,6 +26,9 @@ pub enum Activity {
     Steal,
     /// Reliability-layer retransmissions (fault plans only).
     Retransmit,
+    /// Hedged retransmit of a still-unacked first transmission
+    /// (straggler defenses only).
+    Hedge,
     /// Failure-detector probe traffic (crash plans only).
     Heartbeat,
     /// Taking a periodic checkpoint (crash plans only).
@@ -87,8 +90,9 @@ impl Trace {
 
     /// Render a text Gantt: one row per node, `width` columns spanning
     /// the trace; `#` thread execution, `t` token runs, `R` recovery,
-    /// `k` checkpoints, `h` heartbeats, `s` stealing, `r`
-    /// retransmissions, `u` SU service, `.` polling, space idle.
+    /// `k` checkpoints, `h` heartbeats, `H` hedged retransmits, `s`
+    /// stealing, `r` retransmissions, `u` SU service, `.` polling,
+    /// space idle.
     pub fn timeline(&self, nodes: u16, width: usize) -> String {
         assert!(width >= 10);
         let end = self
@@ -113,6 +117,7 @@ impl Trace {
                     Activity::Recover => b'R',
                     Activity::Checkpoint => b'k',
                     Activity::Heartbeat => b'h',
+                    Activity::Hedge => b'H',
                     Activity::Poll => b'.',
                     Activity::Steal => b's',
                     Activity::Retransmit => b'r',
@@ -123,11 +128,12 @@ impl Trace {
                     // its own rank, so a steal marker is never hidden by a
                     // poll span covering the same columns.
                     let rank = |c: u8| match c {
-                        b'#' => 9,
-                        b't' => 8,
-                        b'R' => 7,
-                        b'k' => 6,
-                        b'h' => 5,
+                        b'#' => 10,
+                        b't' => 9,
+                        b'R' => 8,
+                        b'k' => 7,
+                        b'h' => 6,
+                        b'H' => 5,
                         b's' => 4,
                         b'r' => 3,
                         b'u' => 2,
@@ -217,7 +223,7 @@ mod tests {
 
     #[test]
     fn every_activity_has_a_distinct_rank() {
-        // All nine activities stacked on the same interval: the busiest
+        // All ten activities stacked on the same interval: the busiest
         // ('#') wins, and removing it promotes the next rank, so no two
         // activities can silently tie.
         let acts = [
@@ -225,6 +231,7 @@ mod tests {
             (Activity::Su, 'u'),
             (Activity::Retransmit, 'r'),
             (Activity::Steal, 's'),
+            (Activity::Hedge, 'H'),
             (Activity::Heartbeat, 'h'),
             (Activity::Checkpoint, 'k'),
             (Activity::Recover, 'R'),

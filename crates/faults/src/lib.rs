@@ -146,6 +146,70 @@ pub struct CrashWindow {
     pub up: Option<VirtualTime>,
 }
 
+/// A fail-slow window: while `start <= now < end`, node `node` runs
+/// *degraded* — every EU/SU cost it schedules and the flight latency of
+/// every message departing it are multiplied by `factor` (≥ 1.0). The
+/// node stays alive and keeps acking, so the crash detector must not
+/// fire; this is the gray failure the straggler defenses exist for.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlowdownWindow {
+    /// The degraded node.
+    pub node: u16,
+    /// Window start (inclusive).
+    pub start: VirtualTime,
+    /// Window end (exclusive).
+    pub end: VirtualTime,
+    /// EU/SU and outbound-flight multiplier (≥ 1.0).
+    pub factor: f64,
+}
+
+/// A degraded-link window: while `start <= now < end`, flight latency
+/// on the directed link `src → dst` is multiplied by `factor` (≥ 1.0).
+/// Directed on purpose: degrading `a → b` without `b → a` models the
+/// asymmetric link faults real fabrics produce.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradedLink {
+    /// Source node of the degraded direction.
+    pub src: u16,
+    /// Destination node of the degraded direction.
+    pub dst: u16,
+    /// Window start (inclusive).
+    pub start: VirtualTime,
+    /// Window end (exclusive).
+    pub end: VirtualTime,
+    /// Flight-latency multiplier (≥ 1.0).
+    pub factor: f64,
+}
+
+/// A jitter-storm window: while `start <= now < end`, every delivered
+/// message picks up an extra uniform delay in `(0, max_extra]`, drawn
+/// from a dedicated counter lane (so arming a storm never shifts the
+/// drop/duplicate/reorder fate stream). Models fabric-wide noise.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JitterStorm {
+    /// Window start (inclusive).
+    pub start: VirtualTime,
+    /// Window end (exclusive).
+    pub end: VirtualTime,
+    /// Upper bound of the extra per-message delay.
+    pub max_extra: VirtualDuration,
+}
+
+/// Knobs for the runtime's deterministic latency-outlier detector: a
+/// node whose ack-RTT EWMA exceeds `threshold ×` the nearest-rank
+/// median EWMA (with at least `min_samples` observations) is marked
+/// *Suspected-Slow* — a state deliberately distinct from the crash
+/// detector's *Suspected-Dead*, so a straggler is quarantined, never
+/// failover-restarted.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlowDetector {
+    /// EWMA-vs-median multiplier above which a node is suspected slow
+    /// (must be > 1.0).
+    pub threshold: f64,
+    /// Minimum RTT observations of a node before it can be suspected.
+    pub min_samples: u32,
+}
+
 /// Declarative description of every fault the network should inject.
 ///
 /// Built with the `with_*` methods; installed with
@@ -169,6 +233,27 @@ pub struct FaultPlan {
     pub pauses: Vec<PauseWindow>,
     /// Crash-stop windows (fail-stop with checkpoint/recovery).
     pub crashes: Vec<CrashWindow>,
+    /// Fail-slow windows (per-node EU/SU + outbound-flight multiplier).
+    pub slowdowns: Vec<SlowdownWindow>,
+    /// Degraded-link windows (per-direction flight multiplier).
+    pub degraded_links: Vec<DegradedLink>,
+    /// Jitter-storm windows (extra uniform delay on every delivery).
+    pub jitter_storms: Vec<JitterStorm>,
+    /// Latency-outlier detector knobs; `None` leaves detection off.
+    pub slow_detector: Option<SlowDetector>,
+    /// Hedged-retransmit delay factor: after `factor ×` the expected
+    /// (or EWMA-observed) round trip with no ack, re-send once to the
+    /// same destination; dedup rides the existing watermark path.
+    /// `None` leaves hedging off.
+    pub hedge: Option<f64>,
+    /// How long a Suspected-Slow node stays quarantined (skipped by
+    /// steal-victim selection and traffic home-routing) after its last
+    /// slow observation before normal traffic probes it again. `None`
+    /// leaves quarantine off.
+    pub quarantine: Option<VirtualDuration>,
+    /// Speculatively re-home queued tokens off a node the moment it is
+    /// quarantined, reusing the crash plane's orphan re-homing.
+    pub speculative_rehoming: bool,
     /// Base retransmission timeout margin used by the runtime's
     /// reliability layer (added on top of the expected round trip,
     /// doubling per attempt).
@@ -212,6 +297,13 @@ impl FaultPlan {
             brownouts: Vec::new(),
             pauses: Vec::new(),
             crashes: Vec::new(),
+            slowdowns: Vec::new(),
+            degraded_links: Vec::new(),
+            jitter_storms: Vec::new(),
+            slow_detector: None,
+            hedge: None,
+            quarantine: None,
+            speculative_rehoming: false,
             rto: VirtualDuration::from_us(250),
             rto_max: None,
             heartbeat_every: VirtualDuration::from_us(1_000),
@@ -329,6 +421,106 @@ impl FaultPlan {
         self
     }
 
+    /// Add a fail-slow window: `node`'s EU/SU costs and outbound flight
+    /// latencies are multiplied by `factor` while `start <= now < end`.
+    pub fn with_node_slowdown(
+        mut self,
+        node: u16,
+        start: VirtualTime,
+        end: VirtualTime,
+        factor: f64,
+    ) -> Self {
+        assert!(end > start, "slowdown window must be non-empty");
+        assert!(factor >= 1.0, "slowdown factor must be at least 1.0");
+        self.slowdowns.push(SlowdownWindow {
+            node,
+            start,
+            end,
+            factor,
+        });
+        self
+    }
+
+    /// Add a degraded-link window multiplying flight latency on the
+    /// directed link `src → dst` by `factor`. Degrade only one
+    /// direction for an asymmetric link fault.
+    pub fn with_link_degradation(
+        mut self,
+        src: u16,
+        dst: u16,
+        start: VirtualTime,
+        end: VirtualTime,
+        factor: f64,
+    ) -> Self {
+        assert!(end > start, "degraded-link window must be non-empty");
+        assert!(factor >= 1.0, "degradation factor must be at least 1.0");
+        self.degraded_links.push(DegradedLink {
+            src,
+            dst,
+            start,
+            end,
+            factor,
+        });
+        self
+    }
+
+    /// Add a jitter-storm window: every delivery inside it picks up an
+    /// extra uniform delay in `(0, max_extra]` from a dedicated counter
+    /// lane (existing fate draws are untouched).
+    pub fn with_jitter_storm(
+        mut self,
+        start: VirtualTime,
+        end: VirtualTime,
+        max_extra: VirtualDuration,
+    ) -> Self {
+        assert!(end > start, "jitter-storm window must be non-empty");
+        assert!(!max_extra.is_zero(), "jitter-storm extra must be positive");
+        self.jitter_storms.push(JitterStorm {
+            start,
+            end,
+            max_extra,
+        });
+        self
+    }
+
+    /// Arm the latency-outlier detector: suspect a node slow when its
+    /// ack-RTT EWMA exceeds `threshold ×` the median EWMA after at
+    /// least `min_samples` observations.
+    pub fn with_slow_detector(mut self, threshold: f64, min_samples: u32) -> Self {
+        assert!(threshold > 1.0, "outlier threshold must exceed 1.0");
+        assert!(min_samples >= 1, "detector needs at least one sample");
+        self.slow_detector = Some(SlowDetector {
+            threshold,
+            min_samples,
+        });
+        self
+    }
+
+    /// Arm hedged retransmits: with no ack after `factor ×` the
+    /// expected (or observed-EWMA) round trip, re-send once to the same
+    /// destination; receiver-side dedup makes the hedge safe.
+    pub fn with_hedging(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "hedge delay factor must be positive");
+        self.hedge = Some(factor);
+        self
+    }
+
+    /// Arm quarantine: keep a Suspected-Slow node off the steal-victim
+    /// and traffic home-routing paths until `d` after its last slow
+    /// observation, then let normal traffic probe it half-open.
+    pub fn with_quarantine(mut self, d: VirtualDuration) -> Self {
+        assert!(!d.is_zero(), "quarantine duration must be positive");
+        self.quarantine = Some(d);
+        self
+    }
+
+    /// Arm speculative re-homing: drain a node's queued tokens to
+    /// healthy homes the moment it is quarantined.
+    pub fn with_speculative_rehoming(mut self) -> Self {
+        self.speculative_rehoming = true;
+        self
+    }
+
     /// Set the failure-detector probe period.
     pub fn with_heartbeat_every(mut self, d: VirtualDuration) -> Self {
         assert!(!d.is_zero(), "heartbeat period must be positive");
@@ -390,6 +582,14 @@ impl FaultPlan {
         !self.crashes.is_empty()
     }
 
+    /// True when the plan arms any straggler defense (outlier detector
+    /// or hedged retransmits — quarantine and speculative re-homing
+    /// only act on detector verdicts). The runtime allocates its slow
+    /// state only then.
+    pub fn has_straggler_defenses(&self) -> bool {
+        self.slow_detector.is_some() || self.hedge.is_some()
+    }
+
     /// True when the plan can never inject anything: no probability is
     /// positive and no window exists. Trivial plans are normalized to
     /// "no fault plane installed" so the hook stays provably free.
@@ -400,6 +600,16 @@ impl FaultPlan {
             && self.brownouts.is_empty()
             && self.pauses.is_empty()
             && self.crashes.is_empty()
+            && self.slowdowns.is_empty()
+            && self.degraded_links.is_empty()
+            && self.jitter_storms.is_empty()
+            // Defense knobs install real behavior (the reliability
+            // envelope layer, hedge events, quarantine routing), so a
+            // defense-only plan is *not* trivial.
+            && self.slow_detector.is_none()
+            && self.hedge.is_none()
+            && self.quarantine.is_none()
+            && !self.speculative_rehoming
     }
 
     /// Effective probabilities for one link.
@@ -466,6 +676,19 @@ pub struct FaultState {
     /// non-decreasing, so each node's queries only ever move forward and
     /// the lookup is O(1) amortized.
     pause_cursor: Vec<usize>,
+    /// Per-link counters for the jitter-storm lane. Dedicated so arming
+    /// a storm never shifts the drop/duplicate/reorder fate stream —
+    /// fates stay pure functions of `(seed, src, dst, k)` per lane.
+    storm_counters: Vec<u64>,
+    /// Per-node slowdown step function: disjoint `(start, end, factor)`
+    /// segments sorted by start (overlap takes the max factor), same
+    /// compile-once shape as `pause_segs`.
+    slow_segs: Vec<Vec<(VirtualTime, VirtualTime, f64)>>,
+    /// Per-node forward-only cursor into `slow_segs`. Only the
+    /// runtime's event-loop queries (which ride globally non-decreasing
+    /// pop times) may use the cursor; network send-path queries can
+    /// regress and must use [`FaultState::slow_factor_scan`].
+    slow_cursor: Vec<usize>,
 }
 
 /// Compile one node's pause windows into the disjoint segments of
@@ -505,6 +728,39 @@ fn pause_segments(
     segs
 }
 
+/// Compile one node's fail-slow windows into disjoint
+/// `(start, end, factor)` segments — the step function of
+/// `max { factor : start <= t < end }`, mirroring [`pause_segments`].
+fn slow_segments(windows: &[SlowdownWindow], node: u16) -> Vec<(VirtualTime, VirtualTime, f64)> {
+    let mine: Vec<&SlowdownWindow> = windows.iter().filter(|w| w.node == node).collect();
+    if mine.is_empty() {
+        return Vec::new();
+    }
+    let mut cuts: Vec<VirtualTime> = mine.iter().flat_map(|w| [w.start, w.end]).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut segs: Vec<(VirtualTime, VirtualTime, f64)> = Vec::new();
+    for pair in cuts.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let factor = mine
+            .iter()
+            .filter(|w| w.start <= a && a < w.end)
+            .map(|w| w.factor)
+            .fold(None, |acc: Option<f64>, f| {
+                Some(acc.map_or(f, |m| m.max(f)))
+            });
+        if let Some(f) = factor {
+            match segs.last_mut() {
+                // Coalesce abutting equal-factor segments; different
+                // factors must stay split to preserve scan answers.
+                Some(last) if last.1 == a && last.2 == f => last.1 = b,
+                _ => segs.push((a, b, f)),
+            }
+        }
+    }
+    segs
+}
+
 impl FaultState {
     /// Compile `plan` for a `nodes`-node machine. `seed` should come
     /// from the machine's master seed through a dedicated salt so fault
@@ -514,6 +770,9 @@ impl FaultState {
         let pause_segs = (0..nodes)
             .map(|i| pause_segments(&plan.pauses, i))
             .collect();
+        let slow_segs = (0..nodes)
+            .map(|i| slow_segments(&plan.slowdowns, i))
+            .collect();
         FaultState {
             plan,
             seed,
@@ -521,6 +780,9 @@ impl FaultState {
             counters: vec![0; n * n],
             pause_segs,
             pause_cursor: vec![0; n],
+            storm_counters: vec![0; n * n],
+            slow_segs,
+            slow_cursor: vec![0; n],
         }
     }
 
@@ -609,6 +871,77 @@ impl FaultState {
             .filter(|w| w.node == node && t >= w.start && t < w.end)
             .map(|w| w.end)
             .max()
+    }
+
+    /// Fail-slow multiplier for `node`'s EU/SU costs at `t`, via the
+    /// precompiled segments and a forward-only cursor.
+    ///
+    /// Only safe for the runtime's event-loop queries, whose times ride
+    /// the globally non-decreasing pop order; the network's send path
+    /// can query backwards (an ack transmit triggered by a delivery can
+    /// precede an already-computed in-round send instant) and must use
+    /// [`FaultState::slow_factor_scan`].
+    pub fn slow_factor(&mut self, node: u16, t: VirtualTime) -> f64 {
+        let segs = &self.slow_segs[node as usize];
+        if segs.is_empty() {
+            return 1.0;
+        }
+        let cur = &mut self.slow_cursor[node as usize];
+        while *cur < segs.len() && segs[*cur].1 <= t {
+            *cur += 1;
+        }
+        match segs.get(*cur) {
+            Some(&(start, _, f)) if start <= t => f,
+            _ => 1.0,
+        }
+    }
+
+    /// Reference (and send-path) implementation of
+    /// [`FaultState::slow_factor`]: a linear scan over the raw windows,
+    /// valid for queries in any time order.
+    pub fn slow_factor_scan(&self, node: u16, t: VirtualTime) -> f64 {
+        self.plan
+            .slowdowns
+            .iter()
+            .filter(|w| w.node == node && t >= w.start && t < w.end)
+            .map(|w| w.factor)
+            .fold(1.0, f64::max)
+    }
+
+    /// Flight-latency multiplier from degraded-link windows covering
+    /// `now` on the directed link `src → dst` (overlap takes the max).
+    pub fn degrade_factor(&self, now: VirtualTime, src: u16, dst: u16) -> f64 {
+        self.plan
+            .degraded_links
+            .iter()
+            .filter(|w| w.src == src && w.dst == dst && now >= w.start && now < w.end)
+            .map(|w| w.factor)
+            .fold(1.0, f64::max)
+    }
+
+    /// Extra delivery delay from a jitter storm covering `now`, drawn
+    /// uniformly from `(0, max_extra]` on a dedicated per-link counter
+    /// lane (the lane only advances inside storm windows, so the
+    /// drop/duplicate/reorder stream never shifts). `None` outside any
+    /// storm.
+    pub fn storm_extra(&mut self, now: VirtualTime, src: u16, dst: u16) -> Option<VirtualDuration> {
+        let max_extra = self
+            .plan
+            .jitter_storms
+            .iter()
+            .filter(|w| now >= w.start && now < w.end)
+            .map(|w| w.max_extra)
+            .max()?;
+        let idx = src as usize * self.nodes as usize + dst as usize;
+        let k = self.storm_counters[idx];
+        self.storm_counters[idx] += 1;
+        let mut s = self.seed
+            ^ 0x73_746F_726Du64 // lane salt ("storm") keeping storm draws off the fate words
+            ^ (src as u64) << 48
+            ^ (dst as u64) << 32
+            ^ k.wrapping_mul(0xA24B_AED4_963E_E407);
+        let extra_ns = 1 + (unit(splitmix64(&mut s)) * max_extra.as_ns() as f64) as u64;
+        Some(VirtualDuration::from_ns(extra_ns))
     }
 
     /// Base retransmission timeout margin from the plan.
@@ -861,5 +1194,134 @@ mod tests {
         assert_eq!(st.pause_until(2, t(19)), Some(t(20)));
         assert_eq!(st.pause_until(2, t(20)), Some(t(30)));
         assert_eq!(st.pause_until(2, t(30)), None);
+    }
+
+    #[test]
+    fn gray_failure_knobs_make_a_plan_non_trivial() {
+        assert!(!FaultPlan::new()
+            .with_node_slowdown(1, t(0), t(10), 4.0)
+            .is_trivial());
+        assert!(!FaultPlan::new()
+            .with_link_degradation(0, 1, t(0), t(10), 2.0)
+            .is_trivial());
+        assert!(!FaultPlan::new()
+            .with_jitter_storm(t(0), t(10), VirtualDuration::from_us(5))
+            .is_trivial());
+        // Defense-only plans install real behavior (envelopes, hedges,
+        // quarantine routing), so they are not trivial either.
+        assert!(!FaultPlan::new().with_slow_detector(3.0, 4).is_trivial());
+        assert!(!FaultPlan::new().with_hedging(1.5).is_trivial());
+        assert!(!FaultPlan::new()
+            .with_quarantine(VirtualDuration::from_us(500))
+            .is_trivial());
+        assert!(!FaultPlan::new().with_speculative_rehoming().is_trivial());
+        assert!(!FaultPlan::new().has_straggler_defenses());
+        assert!(FaultPlan::new().with_hedging(1.5).has_straggler_defenses());
+        assert!(FaultPlan::new()
+            .with_slow_detector(3.0, 4)
+            .has_straggler_defenses());
+    }
+
+    #[test]
+    fn slow_factor_cursor_matches_linear_scan_on_monotone_queries() {
+        // Overlapping / nested / abutting slowdown windows, probed in
+        // event order: precompiled segments must reproduce the scan.
+        let plan = FaultPlan::new()
+            .with_node_slowdown(0, t(10), t(20), 2.0)
+            .with_node_slowdown(0, t(15), t(40), 8.0)
+            .with_node_slowdown(0, t(40), t(45), 3.0)
+            .with_node_slowdown(1, t(5), t(50), 4.0)
+            .with_node_slowdown(1, t(8), t(12), 2.0)
+            .with_node_slowdown(2, t(30), t(31), 16.0);
+        let mut fast = FaultState::new(plan, 11, 4);
+        let slow = fast.clone();
+        for us in 0..60u64 {
+            for node in 0..4u16 {
+                assert_eq!(
+                    fast.slow_factor(node, t(us)),
+                    slow.slow_factor_scan(node, t(us)),
+                    "node {node} at {us}us"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slow_factor_is_exact_at_window_edges() {
+        let plan = FaultPlan::new()
+            .with_node_slowdown(2, t(10), t(20), 2.0)
+            .with_node_slowdown(2, t(20), t(30), 4.0);
+        let mut st = FaultState::new(plan, 1, 4);
+        assert_eq!(st.slow_factor(2, t(9)), 1.0);
+        assert_eq!(st.slow_factor(2, t(19)), 2.0);
+        assert_eq!(st.slow_factor(2, t(20)), 4.0, "abutting factors stay split");
+        assert_eq!(st.slow_factor(2, t(30)), 1.0, "end is exclusive");
+        assert_eq!(st.slow_factor(3, t(15)), 1.0, "other nodes unaffected");
+    }
+
+    #[test]
+    fn degrade_factor_is_directional_and_windowed() {
+        let plan = FaultPlan::new()
+            .with_link_degradation(0, 1, t(10), t(20), 3.0)
+            .with_link_degradation(0, 1, t(15), t(25), 5.0);
+        let st = FaultState::new(plan, 1, 2);
+        assert_eq!(st.degrade_factor(t(5), 0, 1), 1.0);
+        assert_eq!(st.degrade_factor(t(12), 0, 1), 3.0);
+        assert_eq!(st.degrade_factor(t(17), 0, 1), 5.0, "overlap takes max");
+        assert_eq!(
+            st.degrade_factor(t(12), 1, 0),
+            1.0,
+            "asymmetric: reverse clean"
+        );
+        assert_eq!(st.degrade_factor(t(25), 0, 1), 1.0);
+    }
+
+    #[test]
+    fn storm_draws_ride_a_dedicated_lane() {
+        // Arming a jitter storm must not shift the fate stream: the
+        // k-th fate on a link is identical with and without the storm.
+        let base = FaultPlan::new().with_drop(0.3).with_duplicate(0.2);
+        let stormy = base
+            .clone()
+            .with_jitter_storm(t(0), t(1_000), VirtualDuration::from_us(10));
+        let mut a = FaultState::new(base, 7, 4);
+        let mut b = FaultState::new(stormy, 7, 4);
+        for i in 0..200u64 {
+            let _ = b.storm_extra(t(i), 0, 1);
+            assert_eq!(a.fate(t(i), 0, 1), b.fate(t(i), 0, 1), "message {i}");
+        }
+    }
+
+    #[test]
+    fn storm_extra_is_bounded_windowed_and_deterministic() {
+        let max = VirtualDuration::from_us(10);
+        let plan = FaultPlan::new().with_jitter_storm(t(100), t(200), max);
+        let mut a = FaultState::new(plan.clone(), 13, 2);
+        let mut b = FaultState::new(plan, 13, 2);
+        assert_eq!(a.storm_extra(t(50), 0, 1), None, "before the storm");
+        assert_eq!(a.storm_extra(t(200), 0, 1), None, "end is exclusive");
+        assert_eq!(b.storm_extra(t(50), 0, 1), None);
+        assert_eq!(b.storm_extra(t(200), 0, 1), None);
+        for i in 0..100u64 {
+            let ea = a.storm_extra(t(100 + i), 0, 1).expect("inside the storm");
+            let eb = b.storm_extra(t(100 + i), 0, 1).expect("inside the storm");
+            assert_eq!(ea, eb, "draw {i} must replay");
+            assert!(
+                !ea.is_zero() && ea <= max,
+                "draw {i} out of (0, max]: {ea:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1.0")]
+    fn sub_unit_slowdown_factor_is_rejected() {
+        let _ = FaultPlan::new().with_node_slowdown(0, t(0), t(10), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed 1.0")]
+    fn slow_detector_threshold_of_one_is_rejected() {
+        let _ = FaultPlan::new().with_slow_detector(1.0, 4);
     }
 }

@@ -41,6 +41,6 @@ pub use topology::{
 // Re-export the fault plane so downstream crates (runtime, apps, bench)
 // can build `FaultPlan`s without depending on earth-faults directly.
 pub use earth_faults::{
-    BrownoutWindow, CrashWindow, Fate, FaultKind, FaultPlan, FaultState, LinkProbs, PauseWindow,
-    SpikeWindow,
+    BrownoutWindow, CrashWindow, DegradedLink, Fate, FaultKind, FaultPlan, FaultState, JitterStorm,
+    LinkProbs, PauseWindow, SlowDetector, SlowdownWindow, SpikeWindow,
 };

@@ -185,6 +185,25 @@ impl Network {
         self.faults.as_mut()?.pause_until(node.0, t)
     }
 
+    /// Fail-slow EU/SU multiplier for `node` at `t` (1.0 when no plan
+    /// or no slowdown window covers `t`). Takes `&mut self`: the lookup
+    /// advances the fault state's forward-only slowdown cursor, so only
+    /// the runtime's event loop (whose query times never decrease) may
+    /// call it — the network's own send path uses the scan internally.
+    pub fn slow_factor(&mut self, node: NodeId, t: VirtualTime) -> f64 {
+        self.faults
+            .as_mut()
+            .map_or(1.0, |f| f.slow_factor(node.0, t))
+    }
+
+    /// Whether the installed plan has any fail-slow windows at all (the
+    /// runtime skips per-round factor queries entirely otherwise).
+    pub fn has_slowdowns(&self) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| !f.plan().slowdowns.is_empty())
+    }
+
     /// Count a message a crashed node's NIC discarded before acking.
     /// The runtime calls this from its delivery path; the fabric itself
     /// already did its work, so only the counter moves.
@@ -298,34 +317,67 @@ impl Network {
                 fate: NetFate::Delivered { arrive: now },
             };
         }
-        let factor = self
-            .faults
-            .as_ref()
-            .expect("send_resolved requires an installed fault plan")
-            .latency_factor(now);
+        // Compose the deterministic flight multipliers: machine-wide
+        // latency spikes × this link's degradation × the sender's
+        // fail-slow factor (a degraded node drains its NIC slowly, so
+        // everything it transmits — acks included — leaves late, which
+        // is exactly what makes fail-slow observable in ack RTTs). All
+        // three are 1.0 on a healthy link, and 1.0 × 1.0 × 1.0 == 1.0
+        // exactly, so `timed`'s `!= 1.0` guard keeps clean paths
+        // bit-exact. The slowdown lookup must be the scan: send-path
+        // query times can regress (an ack triggered by a delivery can
+        // precede an already-computed in-round send instant), which
+        // would corrupt a forward-only cursor.
+        let factor = {
+            let f = self
+                .faults
+                .as_ref()
+                .expect("send_resolved requires an installed fault plan");
+            f.latency_factor(now)
+                * f.degrade_factor(now, src.0, dst.0)
+                * f.slow_factor_scan(src.0, now)
+        };
         let d = self.timed(now, src, dst, bytes, factor);
-        let fate = self.faults.as_mut().unwrap().fate(now, src.0, dst.0);
+        let faults = self.faults.as_mut().unwrap();
+        let fate = faults.fate(now, src.0, dst.0);
+        // Storm extra is drawn per injection (not per delivered copy)
+        // so the dedicated storm lane stays a pure function of the
+        // link's injection index, whatever the fate stream decides.
+        let storm = faults.storm_extra(now, src.0, dst.0);
         let (net_fate, kind) = match fate {
-            Fate::Deliver => (NetFate::Delivered { arrive: d.arrive }, None),
+            Fate::Deliver => match storm {
+                Some(extra) => {
+                    self.stats.delayed += 1;
+                    (
+                        NetFate::Delivered {
+                            arrive: d.arrive + extra,
+                        },
+                        Some(FaultKind::Delay),
+                    )
+                }
+                None => (NetFate::Delivered { arrive: d.arrive }, None),
+            },
             Fate::Drop => {
                 self.stats.dropped += 1;
                 (NetFate::Dropped, Some(FaultKind::Drop))
             }
             Fate::Duplicate { skew } => {
                 self.stats.duplicated += 1;
+                let jitter = storm.unwrap_or(VirtualDuration::ZERO);
                 (
                     NetFate::Duplicated {
-                        first: d.arrive,
-                        second: d.arrive + skew,
+                        first: d.arrive + jitter,
+                        second: d.arrive + jitter + skew,
                     },
                     Some(FaultKind::Duplicate),
                 )
             }
             Fate::Delay { extra } => {
                 self.stats.delayed += 1;
+                let jitter = storm.unwrap_or(VirtualDuration::ZERO);
                 (
                     NetFate::Delivered {
-                        arrive: d.arrive + extra,
+                        arrive: d.arrive + extra + jitter,
                     },
                     Some(FaultKind::Delay),
                 )

@@ -226,6 +226,69 @@ pub fn overload_plan(max_jobs: u32) -> impl Strategy<Value = TrafficPlan> {
         )
 }
 
+/// A gray-failure plan: 1–2 fail-slow node windows (factors 1.5–8×)
+/// on nodes in `[0, nodes)`, plus — each independently half the time —
+/// one degraded directed link, one jitter storm, and the straggler
+/// defenses (detector + hedging + quarantine + speculative re-homing,
+/// always armed together so generated defenses are never half-wired).
+/// Windows open early and run long, like the sweep's, so detection has
+/// samples to chew on however short the run.
+pub fn slow_plan(nodes: u16) -> impl Strategy<Value = FaultPlan> {
+    assert!(nodes >= 2, "slow plans need a healthy majority");
+    (
+        collection::vec((0u64..u64::from(nodes), 15u64..80), 1..3),
+        (
+            crate::strategy::any::<bool>(),
+            0u64..u64::from(nodes),
+            0u64..u64::from(nodes),
+            20u64..60,
+        ),
+        (crate::strategy::any::<bool>(), 5u64..40),
+        crate::strategy::any::<bool>(),
+        (15u64..40, 20u64..80, 2u64..12),
+    )
+        .prop_map(
+            move |(
+                slowdowns,
+                (degrade, src, dst, link_tenths),
+                (storm, extra_us),
+                defend,
+                knobs,
+            )| {
+                let start = VirtualTime::from_ns(50_000);
+                let end = VirtualTime::from_ns(1_000_000_000);
+                let mut plan = FaultPlan::new();
+                for (node, tenths) in slowdowns {
+                    plan = plan.with_node_slowdown(node as u16, start, end, tenths as f64 / 10.0);
+                }
+                if degrade {
+                    // Fold `dst` away from `src` so the degraded link is
+                    // always a real inter-node edge.
+                    let dst = (src + 1 + dst % (u64::from(nodes) - 1)) % u64::from(nodes);
+                    plan = plan.with_link_degradation(
+                        src as u16,
+                        dst as u16,
+                        start,
+                        end,
+                        link_tenths as f64 / 10.0,
+                    );
+                }
+                if storm {
+                    plan = plan.with_jitter_storm(start, end, VirtualDuration::from_us(extra_us));
+                }
+                if defend {
+                    let (thresh_tenths, quar_hundreds_us, hedge_halves) = knobs;
+                    plan = plan
+                        .with_slow_detector(thresh_tenths as f64 / 10.0, 3)
+                        .with_hedging(hedge_halves as f64 / 2.0)
+                        .with_quarantine(VirtualDuration::from_us(quar_hundreds_us * 100))
+                        .with_speculative_rehoming();
+                }
+                plan
+            },
+        )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +411,49 @@ mod tests {
         assert!(shed > 20 && shed < 80, "shedding must vary: {shed}");
         assert!(retry > 20, "retries must occur: {retry}");
         assert!(brk > 20 && brk < 80, "breaker must vary: {brk}");
+    }
+
+    #[test]
+    fn slow_plans_vary_every_gray_failure_axis() {
+        let s = slow_plan(8);
+        let (mut degraded, mut storms, mut defended, mut multi) = (0, 0, 0, 0);
+        for seed in 0..100 {
+            let p = gen(&s, seed);
+            assert!(!p.is_trivial(), "a slow plan always injects something");
+            assert!(!p.slowdowns.is_empty(), "at least one fail-slow window");
+            for w in &p.slowdowns {
+                assert!(w.node < 8);
+                assert!((1.5..=8.0).contains(&w.factor), "{}", w.factor);
+                assert!(w.end > w.start);
+            }
+            if p.slowdowns.len() > 1 {
+                multi += 1;
+            }
+            for l in &p.degraded_links {
+                assert!(l.src < 8 && l.dst < 8 && l.src != l.dst);
+                assert!(l.factor >= 1.0);
+                degraded += 1;
+            }
+            storms += p.jitter_storms.len();
+            // Defenses arm as a block: a detector without quarantine (or
+            // vice versa) would be a half-wired plan no sweep ships.
+            assert_eq!(p.slow_detector.is_some(), p.hedge.is_some());
+            assert_eq!(p.slow_detector.is_some(), p.quarantine.is_some());
+            assert_eq!(p.slow_detector.is_some(), p.speculative_rehoming);
+            if p.slow_detector.is_some() {
+                defended += 1;
+            }
+        }
+        assert!(multi > 20 && multi < 80, "window count must vary: {multi}");
+        assert!(
+            degraded > 20 && degraded < 80,
+            "links must vary: {degraded}"
+        );
+        assert!(storms > 20 && storms < 80, "storms must vary: {storms}");
+        assert!(
+            defended > 20 && defended < 80,
+            "defenses must vary: {defended}"
+        );
     }
 
     #[test]

@@ -59,6 +59,15 @@ grep -q '"experiment":"overload"' /tmp/overload_smoke_a.json
 grep -q '"variant":"naive"' /tmp/overload_smoke_a.json
 grep -q '"variant":"defended_crashed"' /tmp/overload_smoke_a.json
 
+echo "== straggler smoke (gray failure, naive vs defended, byte-identical reruns) =="
+cargo run --release --offline -p earth-bench --bin repro -- stragglers --smoke --json > /tmp/stragglers_smoke_a.json
+cargo run --release --offline -p earth-bench --bin repro -- stragglers --smoke --json > /tmp/stragglers_smoke_b.json
+cmp /tmp/stragglers_smoke_a.json /tmp/stragglers_smoke_b.json
+grep -q '"experiment":"stragglers"' /tmp/stragglers_smoke_a.json
+grep -q '"variant":"naive"' /tmp/stragglers_smoke_a.json
+grep -q '"variant":"defended_lossy"' /tmp/stragglers_smoke_a.json
+grep -q '"variant":"defended_crashed"' /tmp/stragglers_smoke_a.json
+
 echo "== topology scale full (1024 nodes; terminates inside the smoke budget) =="
 cargo run --release --offline -p earth-bench --bin repro -- scale --json > /tmp/scale_full.json
 grep -q '"nodes":\[20,64,256,1024\]' /tmp/scale_full.json
